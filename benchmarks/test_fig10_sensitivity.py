@@ -1,0 +1,45 @@
+"""Benchmark E9 — Fig. 10: hyperparameter sensitivity of AERO.
+
+The full figure sweeps the short window, head count, encoder layers and long
+window; the default benchmark reproduces the short-window sweep (Fig. 10a-c)
+and the head-count sweep (Fig. 10d), which carry the paper's main findings:
+training/testing time grows with the short window while F1 stays in a stable
+band across reasonable settings.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_series, sweep_parameter
+
+
+def _run_sweeps(profile, full_grid):
+    sweeps = {"short_window": (8, 12, 16), "num_heads": (1, 2)}
+    if full_grid:
+        sweeps["num_encoder_layers"] = (1, 2)
+        sweeps["window"] = (30, 40, 50)
+    return {
+        parameter: sweep_parameter(parameter, values, "SyntheticMiddle", profile)
+        for parameter, values in sweeps.items()
+    }
+
+
+def test_fig10_parameter_sensitivity(benchmark, profile, full_grid):
+    results = run_once(benchmark, _run_sweeps, profile, full_grid)
+
+    print()
+    for parameter, rows in results.items():
+        print(format_series(
+            f"Fig. 10 ({parameter})",
+            [row["value"] for row in rows],
+            [row["f1"] for row in rows],
+            x_label=parameter, y_label="F1",
+        ))
+
+    short_window_rows = results["short_window"]
+    assert all(0.0 <= row["f1"] <= 1.0 for rows in results.values() for row in rows)
+    # Training time per epoch grows with the short window size (Fig. 10a).
+    assert short_window_rows[-1]["train_seconds_per_epoch"] >= short_window_rows[0]["train_seconds_per_epoch"] * 0.8
+    # Performance does not collapse across head counts (Fig. 10d: stable band).
+    head_rows = results["num_heads"]
+    f1_values = [row["f1"] for row in head_rows]
+    assert max(f1_values) - min(f1_values) <= 1.0

@@ -1,0 +1,17 @@
+"""Benchmark E10 — Fig. 5: examples of injected true anomalies."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run_fig5
+
+
+def test_fig5_anomaly_templates(benchmark):
+    curves = run_once(benchmark, run_fig5, 60, 2.5)
+    assert {"flare", "microlensing", "eclipse", "nova", "supernova"} <= set(curves)
+    # Flares and novae rise fast and decay slowly; eclipses are dips.
+    flare = curves["flare"]
+    assert np.argmax(flare) < len(flare) * 0.3
+    assert curves["eclipse"].min() < 0
+    for name, curve in curves.items():
+        assert np.isfinite(curve).all(), name

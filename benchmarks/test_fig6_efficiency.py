@@ -1,0 +1,37 @@
+"""Benchmark E5 — Fig. 6: training time per epoch and inference time of all methods.
+
+Absolute numbers differ from the paper (CPU numpy vs. GPU PyTorch); the
+regenerated artifact is the per-method comparison of training and inference
+cost on SyntheticMiddle.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_series, run_fig6
+
+# A representative subset keeps the benchmark affordable; pass
+# REPRO_FULL_GRID=1 to include every method as in the paper's figure.
+DEFAULT_METHODS = ("SPOT", "FluxEV", "Donut", "OmniAnomaly", "GDN", "TimesNet", "AERO")
+
+
+def test_fig6_training_and_inference_time(benchmark, profile, full_grid):
+    methods = None if full_grid else DEFAULT_METHODS
+    rows = run_once(benchmark, run_fig6, methods, "SyntheticMiddle", profile)
+    print()
+    print(format_series(
+        "Fig. 6a: training time",
+        [row["method"] for row in rows],
+        [row["train_seconds_per_epoch"] for row in rows],
+        x_label="method", y_label="s/epoch",
+    ))
+    print(format_series(
+        "Fig. 6b: inference time",
+        [row["method"] for row in rows],
+        [row["inference_seconds"] for row in rows],
+        x_label="method", y_label="seconds",
+    ))
+    assert all(row["train_seconds_per_epoch"] >= 0 for row in rows)
+    assert all(row["inference_seconds"] > 0 for row in rows)
+    # Statistical methods train essentially for free compared to AERO.
+    by_method = {row["method"]: row for row in rows}
+    assert by_method["SPOT"]["train_seconds_total"] <= by_method["AERO"]["train_seconds_total"]

@@ -1,0 +1,36 @@
+"""Benchmark E6 — Fig. 7: memory usage and inference time versus the number of stars.
+
+Expected shape (as in the paper): both memory and inference time grow with the
+number of stars for every method, roughly linearly over the tested range.
+"""
+
+from conftest import run_once
+
+from repro.experiments import format_series, run_fig7
+
+DEFAULT_METHODS = ("AERO", "GDN", "SR")
+DEFAULT_STAR_COUNTS = (8, 16, 32)
+
+
+def test_fig7_scalability(benchmark, profile, full_grid):
+    methods = ("AERO", "AnomalyTransformer", "TranAD", "GDN", "ESG", "TimesNet", "SR") if full_grid else DEFAULT_METHODS
+    star_counts = (24, 48, 96, 192) if full_grid else DEFAULT_STAR_COUNTS
+    rows = run_once(benchmark, run_fig7, star_counts, methods, profile)
+
+    print()
+    for method in methods:
+        series = [row for row in rows if row["method"] == method]
+        print(format_series(
+            f"Fig. 7 ({method})",
+            [row["num_stars"] for row in series],
+            [row["inference_seconds"] for row in series],
+            x_label="#stars", y_label="inference s",
+        ))
+
+    assert len(rows) == len(methods) * len(star_counts)
+    # Inference time increases from the smallest to the largest field for the
+    # graph-based methods (the paper's headline scaling observation).
+    for method in methods:
+        series = sorted((row for row in rows if row["method"] == method), key=lambda r: r["num_stars"])
+        assert series[-1]["inference_seconds"] >= series[0]["inference_seconds"] * 0.8
+        assert all(row["memory_mb"] > 0 for row in series)

@@ -1,0 +1,17 @@
+"""Benchmark E1 — Table I: dataset statistics for the six evaluation datasets."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_table1_dataset_statistics(benchmark, profile):
+    rows, text = run_once(benchmark, run_table1, profile=profile)
+    print("\n" + text)
+    assert len(rows) == 6
+    # Qualitative checks mirroring Table I: every dataset has rare anomalies
+    # and a larger fraction of concurrent noise (A/N < 1).
+    for row in rows:
+        assert 0.0 < row["anomaly_pct"] < 5.0
+        assert row["noise_pct"] > row["anomaly_pct"]
+        assert row["anomaly_segments"] >= 1

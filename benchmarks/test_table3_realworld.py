@@ -1,0 +1,22 @@
+"""Benchmark E3 — Table III: overall performance on the GWAC-like real-world datasets."""
+
+from conftest import run_once
+
+from repro.experiments import REAL_DATASETS, format_performance_table, run_overall_comparison
+
+
+def test_table3_realworld_overall_performance(benchmark, profile, full_grid):
+    datasets = REAL_DATASETS if full_grid else ("AstrosetLow",)
+    rows = run_once(benchmark, run_overall_comparison, datasets, None, profile)
+    print("\n" + format_performance_table(rows, datasets))
+
+    assert len(rows) == 12 * len(datasets)
+    for row in rows:
+        assert 0.0 <= row["precision"] <= 1.0
+        assert 0.0 <= row["recall"] <= 1.0
+    if profile.name != "tiny":
+        aero_rows = [row for row in rows if row["method"] == "AERO"]
+        baseline_rows = [row for row in rows if row["method"] != "AERO"]
+        median_baseline = sorted(row["f1"] for row in baseline_rows)[len(baseline_rows) // 2]
+        aero_mean = sum(row["f1"] for row in aero_rows) / len(aero_rows)
+        assert aero_mean >= median_baseline - 0.1

@@ -1,0 +1,33 @@
+"""Benchmark E4 — Table IV: ablation study of AERO's components.
+
+The paper's finding: removing the temporal module, replacing the univariate
+input, or removing the concurrent-noise module causes the largest drops, and
+the window-wise graph beats static/dynamic graph replacements.
+"""
+
+from conftest import run_once
+
+from repro.experiments import ABLATION_DATASETS, format_ablation_table, run_ablation
+
+
+def test_table4_ablation(benchmark, profile, full_grid):
+    datasets = ABLATION_DATASETS if full_grid else ("SyntheticMiddle",)
+    rows = run_once(benchmark, run_ablation, datasets, None, profile)
+    print("\n" + format_ablation_table(rows, datasets))
+
+    assert len(rows) == 8 * len(datasets)
+    by_variant = {}
+    for row in rows:
+        assert 0.0 <= row["f1"] <= 1.0
+        by_variant.setdefault(row["variant_id"], []).append(row["f1"])
+    assert set(by_variant) == {
+        "full", "no_temporal", "no_univariate_input", "no_short_window",
+        "no_noise_module", "no_noise_multivariate", "static_graph", "dynamic_graph",
+    }
+    # Single-run rankings at the tiny profile are too noisy to assert; larger
+    # profiles check that the full model is not dominated by its ablations.
+    if profile.name != "tiny":
+        mean_f1 = {variant: sum(values) / len(values) for variant, values in by_variant.items()}
+        best = max(mean_f1.values())
+        assert mean_f1["full"] >= best - 0.25
+        assert mean_f1["full"] >= min(mean_f1.values())

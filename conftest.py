@@ -1,0 +1,12 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+This keeps the test and benchmark suites runnable in fully offline
+environments where an editable install may not be possible.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

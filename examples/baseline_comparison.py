@@ -1,0 +1,51 @@
+"""Compare AERO against representative baselines on a noise-heavy dataset.
+
+Reproduces a slice of Table II: the SyntheticLow dataset has the lowest
+anomaly-to-noise ratio, which is where the paper reports AERO's largest
+advantage (its concurrent-noise reconstruction removes the false positives
+that plague the univariate and correlation-agnostic baselines).
+
+Run with:  python examples/baseline_comparison.py
+"""
+
+from repro.baselines import get_baseline
+from repro.core import AeroConfig, AeroDetector
+from repro.data import load_synthetic
+from repro.experiments import format_performance_table
+
+METHODS = ("SPOT", "SR", "FluxEV", "Donut", "GDN", "AERO")
+
+
+def main() -> None:
+    dataset = load_synthetic("SyntheticLow", scale=0.08)
+    print(f"{dataset.name}: anomaly/noise ratio = {dataset.anomaly_to_noise_ratio:.3f}\n")
+
+    rows = []
+    for name in METHODS:
+        if name == "AERO":
+            config = AeroConfig.fast(window=40, short_window=12).scaled(
+                max_epochs_stage1=15, max_epochs_stage2=8, learning_rate=5e-3
+            )
+            method = AeroDetector(config)
+            method.fit(dataset.train)
+            outcome = method.evaluate(dataset.test, dataset.test_labels).outcome
+        else:
+            kwargs = {} if name in ("SPOT", "SR", "FluxEV") else {"epochs": 3, "train_stride": 4}
+            method = get_baseline(name, **kwargs)
+            method.fit(dataset.train)
+            outcome = method.evaluate(dataset.test, dataset.test_labels)
+        rows.append({
+            "method": name,
+            "dataset": dataset.name,
+            "precision": outcome.result.precision,
+            "recall": outcome.result.recall,
+            "f1": outcome.result.f1,
+        })
+        print(f"finished {name}")
+
+    print()
+    print(format_performance_table(rows, [dataset.name]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Analyse how AERO separates a stellar flare from a passing cloud.
+
+This example reproduces the mechanism illustrated in Fig. 8 and Fig. 9 of the
+paper on a small controlled scene: one star exhibits a Davenport-model flare
+(a true celestial event) while a cloud passes over most of the field
+(concurrent noise).  The script prints
+
+* the window-wise graph learned during the cloud passage (its edges should
+  concentrate on the cloud-affected stars), and
+* the stage-1 versus final anomaly scores on the flare star and on a
+  cloud-affected star, showing that the concurrent-noise module suppresses
+  the cloud but keeps the flare.
+
+Run with:  python examples/flare_detection_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import AeroConfig, AeroDetector, noise_ground_truth_graph
+from repro.data import AstroDataset, flare_template, gaussian_star, inject_concurrent_noise, sinusoidal_star
+from repro.experiments import graph_agreement
+
+
+def build_scene(num_stars: int = 10, length: int = 500, seed: int = 5) -> AstroDataset:
+    """Half the series is the clean archive; the second half contains the events."""
+    rng = np.random.default_rng(seed)
+    series = np.zeros((length, num_stars))
+    for star in range(num_stars):
+        if star % 3 == 0:
+            series[:, star] = sinusoidal_star(length, rng, period=120.0, amplitude=1.5)
+        else:
+            series[:, star] = gaussian_star(length, rng, std=0.2)
+
+    labels = np.zeros_like(series, dtype=np.int64)
+    noise_mask = np.zeros_like(series, dtype=np.int64)
+    split = length // 2
+
+    # Cloud passage over most of the field in the "live" half.
+    cloud_stars = list(range(1, num_stars))
+    inject_concurrent_noise(series, noise_mask, rng, start=split + 60, length=50,
+                            variates=cloud_stars, kind="darkening", intensity=1.0)
+    # A flare on star 0, away from the cloud window.
+    flare = flare_template(25, amplitude=1.2)
+    series[split + 150: split + 175, 0] += flare
+    labels[split + 150: split + 175, 0] = 1
+
+    return AstroDataset(
+        name="FlareVsCloud",
+        train=series[:split],
+        test=series[split:],
+        test_labels=labels[split:],
+        test_noise_mask=noise_mask[split:],
+        train_noise_mask=noise_mask[:split],
+    )
+
+
+def main() -> None:
+    dataset = build_scene()
+    config = AeroConfig.fast(window=40, short_window=12).scaled(
+        max_epochs_stage1=15, max_epochs_stage2=8, learning_rate=5e-3
+    )
+    detector = AeroDetector(config)
+    detector.fit(dataset.train)
+
+    # Scores with and without the concurrent-noise module (Fig. 9).
+    full_scores = detector.score(dataset.test)
+    noise_module = detector.model.noise
+    detector.model.noise = None
+    stage1_scores = detector.score(dataset.test)
+    detector.model.noise = noise_module
+
+    cloud_star = 4
+    cloud_window = slice(60, 110)
+    flare_window = slice(150, 175)
+    print("mean anomaly score (stage 1 -> full model):")
+    print(f"  cloud passage, star {cloud_star}: "
+          f"{stage1_scores[cloud_window, cloud_star].mean():.3f} -> {full_scores[cloud_window, cloud_star].mean():.3f}")
+    print(f"  flare, star 0           : "
+          f"{stage1_scores[flare_window, 0].mean():.3f} -> {full_scores[flare_window, 0].mean():.3f}")
+
+    # Window-wise graph learned in the middle of the cloud passage (Fig. 8).
+    detector.score(dataset.test[: 40 + 85])
+    learned = detector.learned_graph()
+    truth = noise_ground_truth_graph(dataset.test_noise_mask)
+    print(f"\nlearned graph agreement with the cloud clique: {graph_agreement(learned, truth):.3f}")
+    print("learned adjacency (rounded, first 6 stars):")
+    with np.printoptions(precision=2, suppress=True):
+        print(learned[:6, :6])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Online monitoring of a GWAC-like wide-angle survey field.
+
+This example mirrors the paper's motivating application: a ground-based
+wide-angle camera observes dozens of stars with irregular cadence, clouds and
+sunrise introduce concurrent noise across the field, and rare transient events
+(flares, microlensing) must be flagged in real time.
+
+The script trains AERO offline on an unlabeled archive (Algorithm 1), then
+replays the test night in an online fashion (Algorithm 2), printing an alarm
+whenever a star's anomaly score crosses the POT threshold.
+
+Run with:  python examples/gwac_survey_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import AeroConfig, AeroDetector
+from repro.data import load_astroset
+
+
+def main() -> None:
+    dataset = load_astroset("AstrosetLow", scale=0.05)
+    print(f"{dataset.name}: {dataset.num_variates} stars, "
+          f"{dataset.train_length} archive epochs, {dataset.test_length} live epochs")
+    print(f"true anomaly segments in the live night: {len(dataset.anomaly_segments())}")
+
+    config = AeroConfig.fast(window=40, short_window=12).scaled(
+        max_epochs_stage1=12, max_epochs_stage2=6, learning_rate=5e-3
+    )
+    detector = AeroDetector(config)
+    detector.fit(dataset.train, dataset.train_timestamps)
+    threshold = detector.threshold()
+    print(f"calibrated POT threshold: {threshold:.4f}\n")
+
+    # Online replay: score the whole night, then walk through it timestamp by
+    # timestamp as the telescope would, raising alarms as scores cross the
+    # threshold.  (Scores are per star and per timestamp.)
+    scores = detector.score(dataset.test, dataset.test_timestamps)
+    alarms_raised = 0
+    active: set[int] = set()
+    for t in range(dataset.test_length):
+        crossing = np.flatnonzero(scores[t] >= threshold)
+        new_alarms = [star for star in crossing if star not in active]
+        active = set(crossing.tolist())
+        for star in new_alarms:
+            alarms_raised += 1
+            truth = "TRUE EVENT" if dataset.test_labels[t, star] else "noise/false alarm"
+            if alarms_raised <= 10:
+                print(f"t={t:5d}  star {star:3d}  score={scores[t, star]:.3f}  -> {truth}")
+    print(f"\ntotal alarms raised: {alarms_raised}")
+
+    report = detector.evaluate(dataset.test, dataset.test_labels, dataset.test_timestamps)
+    result = report.outcome.result
+    print(f"night summary: precision={100 * result.precision:.1f}%  "
+          f"recall={100 * result.recall:.1f}%  F1={100 * result.f1:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

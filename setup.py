@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments where the
+``wheel`` package (required by PEP 660 editable installs) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

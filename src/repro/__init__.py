@@ -1,0 +1,32 @@
+"""AERO reproduction: time series anomaly detection in astronomical observations.
+
+Reproduction of "From Chaos to Clarity: Time Series Anomaly Detection in
+Astronomical Observations" (ICDE 2024).  The package layers:
+
+* :mod:`repro.nn` — a numpy autodiff / neural-network substrate;
+* :mod:`repro.data` — synthetic and GWAC-like light-curve datasets;
+* :mod:`repro.evaluation` — POT thresholding, point-adjust, P/R/F1;
+* :mod:`repro.core` — the AERO model (the paper's contribution);
+* :mod:`repro.baselines` — the eleven comparison methods;
+* :mod:`repro.experiments` — runners regenerating every table and figure.
+"""
+
+from .core import AeroConfig, AeroDetector, AeroModel, build_variant
+from .data import AstroDataset, load_astroset, load_synthetic
+from .evaluation import evaluate_scores, pot_threshold, precision_recall_f1
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AeroConfig",
+    "AeroDetector",
+    "AeroModel",
+    "build_variant",
+    "AstroDataset",
+    "load_astroset",
+    "load_synthetic",
+    "evaluate_scores",
+    "pot_threshold",
+    "precision_recall_f1",
+    "__version__",
+]

@@ -1,0 +1,70 @@
+"""The eleven comparison methods of the paper's evaluation (Section IV-B).
+
+Univariate methods: Template Matching, SR, SPOT, FluxEV, Donut.
+Multivariate methods: OmniAnomaly, AnomalyTransformer, TranAD, GDN, ESG, TimesNet.
+
+``get_baseline(name)`` constructs a baseline by its table name, and
+``BASELINE_REGISTRY`` maps names to classes.  All baselines share the
+``fit`` / ``score`` / ``evaluate`` protocol of :class:`BaseDetector`, with the
+same POT + point-adjust evaluation applied by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from .base import BaseDetector
+from .neural_base import WindowedNeuralDetector
+from .statistical import TemplateMatching, SpectralResidual, Spot, FluxEV
+from .donut import Donut, VariationalAutoencoder
+from .omni_anomaly import OmniAnomaly
+from .anomaly_transformer import AnomalyTransformer
+from .tranad import TranAD
+from .gdn import GDN
+from .esg import ESG
+from .timesnet import TimesNet, dominant_periods
+
+__all__ = [
+    "BaseDetector",
+    "WindowedNeuralDetector",
+    "TemplateMatching",
+    "SpectralResidual",
+    "Spot",
+    "FluxEV",
+    "Donut",
+    "VariationalAutoencoder",
+    "OmniAnomaly",
+    "AnomalyTransformer",
+    "TranAD",
+    "GDN",
+    "ESG",
+    "TimesNet",
+    "dominant_periods",
+    "BASELINE_REGISTRY",
+    "UNIVARIATE_BASELINES",
+    "MULTIVARIATE_BASELINES",
+    "get_baseline",
+]
+
+#: Table name -> detector class, in the order of Tables II and III.
+BASELINE_REGISTRY: dict[str, type[BaseDetector]] = {
+    "TM": TemplateMatching,
+    "SR": SpectralResidual,
+    "SPOT": Spot,
+    "FluxEV": FluxEV,
+    "Donut": Donut,
+    "OmniAnomaly": OmniAnomaly,
+    "AnomalyTransformer": AnomalyTransformer,
+    "TranAD": TranAD,
+    "GDN": GDN,
+    "ESG": ESG,
+    "TimesNet": TimesNet,
+}
+
+UNIVARIATE_BASELINES = ("TM", "SR", "SPOT", "FluxEV", "Donut")
+MULTIVARIATE_BASELINES = ("OmniAnomaly", "AnomalyTransformer", "TranAD", "GDN", "ESG", "TimesNet")
+
+
+def get_baseline(name: str, **kwargs) -> BaseDetector:
+    """Instantiate a baseline by its table name (e.g. ``"SR"`` or ``"GDN"``)."""
+    if name not in BASELINE_REGISTRY:
+        raise KeyError(f"unknown baseline {name!r}; options: {sorted(BASELINE_REGISTRY)}")
+    return BASELINE_REGISTRY[name](**kwargs)

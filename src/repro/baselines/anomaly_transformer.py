@@ -1,0 +1,104 @@
+"""AnomalyTransformer (Xu et al., ICLR 2022): association-discrepancy scoring.
+
+A Transformer encoder reconstructs the multivariate window.  In parallel, the
+method compares two attention distributions for every position:
+
+* the *series association* — the encoder's learned self-attention row;
+* the *prior association* — a Gaussian kernel over relative distances with a
+  learnable bandwidth, encoding the expectation that normal points attend to
+  their close neighbourhood.
+
+The association discrepancy (symmetrised KL between the two) is small for
+anomalies (their attention collapses onto adjacent positions), so the final
+score multiplies the reconstruction error by ``softmax(-discrepancy)``,
+exactly as in the original paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter, Tensor, TransformerEncoderLayer, mse_loss
+from .neural_base import WindowedNeuralDetector
+
+__all__ = ["AnomalyTransformer"]
+
+
+def _gaussian_prior(window: int, sigma: float) -> np.ndarray:
+    """Row-normalised Gaussian kernel over relative distances."""
+    positions = np.arange(window)
+    distances = np.abs(positions[:, None] - positions[None, :]).astype(np.float64)
+    kernel = np.exp(-(distances ** 2) / (2.0 * max(sigma, 1e-3) ** 2))
+    return kernel / kernel.sum(axis=1, keepdims=True)
+
+
+class _AnomalyTransformerModel(Module):
+    """Single-layer Transformer encoder with a learnable prior bandwidth."""
+
+    def __init__(self, num_variates: int, d_model: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_projection = Linear(num_variates, d_model, rng=rng)
+        self.encoder = TransformerEncoderLayer(d_model, num_heads, rng=rng)
+        self.output_projection = Linear(d_model, num_variates, rng=rng)
+        self.prior_sigma = Parameter(np.array([3.0]))
+
+    def forward(self, windows: Tensor) -> Tensor:
+        hidden = self.encoder(self.input_projection(windows))
+        return self.output_projection(hidden)
+
+    def series_association(self) -> np.ndarray:
+        """Mean attention over heads from the last forward pass: (B, L, L)."""
+        attention = self.encoder.self_attention.last_attention
+        return attention.mean(axis=1)
+
+
+class AnomalyTransformer(WindowedNeuralDetector):
+    """Transformer with association-discrepancy anomaly scores."""
+
+    name = "AnomalyTransformer"
+
+    def __init__(self, window: int = 32, d_model: int = 16, num_heads: int = 2, discrepancy_weight: float = 0.1, **kwargs):
+        super().__init__(window=window, **kwargs)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.discrepancy_weight = discrepancy_weight
+        self.model: _AnomalyTransformerModel | None = None
+
+    def _build(self, num_variates: int, rng: np.random.Generator) -> None:
+        self.model = _AnomalyTransformerModel(num_variates, self.d_model, self.num_heads, rng)
+
+    def _parameters(self):
+        return self.model.parameters()
+
+    # ------------------------------------------------------------------
+    def _discrepancy(self) -> np.ndarray:
+        """Per-position association discrepancy of the last forward pass: (B, L)."""
+        series = self.model.series_association()
+        window = series.shape[-1]
+        prior = _gaussian_prior(window, float(self.model.prior_sigma.data[0]))
+        series = np.maximum(series, 1e-12)
+        prior = np.maximum(prior[None, :, :], 1e-12)
+        forward_kl = (prior * np.log(prior / series)).sum(axis=-1)
+        reverse_kl = (series * np.log(series / prior)).sum(axis=-1)
+        return 0.5 * (forward_kl + reverse_kl)
+
+    def _loss(self, windows: np.ndarray, rng: np.random.Generator):
+        inputs = Tensor(windows)
+        reconstruction = self.model(inputs)
+        loss = mse_loss(reconstruction, inputs)
+        # Minimax simplification: encourage large association discrepancy on
+        # the (mostly normal) training data by penalising its negative mean.
+        discrepancy = self._discrepancy().mean()
+        return loss + Tensor(self.discrepancy_weight * (-discrepancy))
+
+    def _window_scores(self, windows: np.ndarray) -> np.ndarray:
+        inputs = Tensor(windows)
+        reconstruction = self.model(inputs).data
+        errors = np.abs(windows - reconstruction)
+        discrepancy = self._discrepancy()
+        # softmax(-discrepancy) over the window, evaluated at the last position.
+        shifted = -discrepancy - (-discrepancy).max(axis=1, keepdims=True)
+        weights = np.exp(shifted)
+        weights = weights / weights.sum(axis=1, keepdims=True)
+        last_weight = weights[:, -1:]
+        return errors[:, -1, :] * last_weight * discrepancy.shape[1]

@@ -1,0 +1,83 @@
+"""Common interface for all baseline detectors.
+
+Every baseline follows the protocol used in the paper's evaluation
+(Section IV-B): the method produces an anomaly score per point and per
+variate, and the *same* POT + point-adjust procedure is applied to all
+methods so the comparison is fair.  Concretely a baseline implements
+
+* ``fit(train, timestamps=None)`` — unsupervised training / calibration on
+  the unlabeled training split;
+* ``score(series, timestamps=None)`` — per-point anomaly scores with the
+  same shape as the input.
+
+``BaseDetector`` provides the shared ``detect`` / ``evaluate`` logic on top.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..evaluation import DetectionOutcome, evaluate_scores, pot_threshold
+
+__all__ = ["BaseDetector"]
+
+
+class BaseDetector:
+    """Abstract base class for anomaly detectors with the fit/score protocol."""
+
+    #: Human-readable method name used in result tables.
+    name: str = "base"
+
+    def __init__(self, pot_level: float = 0.99, pot_q: float = 1e-3):
+        self.pot_level = pot_level
+        self.pot_q = pot_q
+        self.train_scores_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, train: np.ndarray, timestamps: np.ndarray | None = None) -> "BaseDetector":
+        raise NotImplementedError
+
+    def score(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_series(series: np.ndarray) -> np.ndarray:
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 2:
+            raise ValueError("series must be 2-D (time, variates)")
+        return series
+
+    def _calibrate(self, train: np.ndarray, timestamps: np.ndarray | None = None) -> None:
+        """Store training scores for POT calibration (call at the end of ``fit``)."""
+        self.train_scores_ = self.score(train, timestamps)
+
+    def threshold(self) -> float:
+        if self.train_scores_ is None:
+            raise RuntimeError(f"{self.name} must be fitted before thresholding")
+        return pot_threshold(self.train_scores_, level=self.pot_level, q=self.pot_q)
+
+    def detect(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+        """Binary anomaly labels for every point of ``series``."""
+        scores = self.score(series, timestamps)
+        return (scores >= self.threshold()).astype(np.int64)
+
+    def evaluate(
+        self,
+        test: np.ndarray,
+        test_labels: np.ndarray,
+        timestamps: np.ndarray | None = None,
+        point_adjust: bool = True,
+    ) -> DetectionOutcome:
+        """Apply the shared POT + point-adjust protocol and return metrics."""
+        if self.train_scores_ is None:
+            raise RuntimeError(f"{self.name} must be fitted before evaluation")
+        test_scores = self.score(test, timestamps)
+        return evaluate_scores(
+            self.train_scores_,
+            test_scores,
+            test_labels,
+            level=self.pot_level,
+            q=self.pot_q,
+            point_adjust=point_adjust,
+        )

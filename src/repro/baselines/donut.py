@@ -1,0 +1,98 @@
+"""Donut (Xu et al., WWW 2018): univariate VAE reconstruction.
+
+Each variate is treated independently (univariate method).  A window of the
+light curve is encoded into a diagonal-Gaussian latent, decoded back, and the
+anomaly score is the reconstruction error at the last timestamp.  The model
+is shared across variates, mirroring how AERO shares its temporal module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Sequential, Tanh, Tensor, kl_divergence_normal, mse_loss
+from .neural_base import WindowedNeuralDetector
+
+__all__ = ["Donut", "VariationalAutoencoder"]
+
+
+class VariationalAutoencoder(Module):
+    """A small MLP VAE over fixed-length windows."""
+
+    def __init__(self, window: int, hidden: int = 32, latent: int = 8, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.window = window
+        self.latent = latent
+        self.encoder = Sequential(Linear(window, hidden, rng=rng), Tanh())
+        self.mean_head = Linear(hidden, latent, rng=rng)
+        self.log_var_head = Linear(hidden, latent, rng=rng)
+        self.decoder = Sequential(Linear(latent, hidden, rng=rng), Tanh(), Linear(hidden, window, rng=rng))
+
+    def encode(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        hidden = self.encoder(x)
+        return self.mean_head(hidden), self.log_var_head(hidden)
+
+    def reparameterize(self, mean: Tensor, log_var: Tensor, rng: np.random.Generator) -> Tensor:
+        noise = Tensor(rng.standard_normal(mean.shape))
+        return mean + (log_var * 0.5).exp() * noise
+
+    def decode(self, latent: Tensor) -> Tensor:
+        return self.decoder(latent)
+
+    def forward(self, x: Tensor, rng: np.random.Generator) -> tuple[Tensor, Tensor, Tensor]:
+        mean, log_var = self.encode(x)
+        latent = self.reparameterize(mean, log_var, rng)
+        return self.decode(latent), mean, log_var
+
+
+class Donut(WindowedNeuralDetector):
+    """Univariate VAE anomaly detector applied to each star independently."""
+
+    name = "Donut"
+
+    def __init__(
+        self,
+        window: int = 32,
+        hidden: int = 32,
+        latent: int = 8,
+        kl_weight: float = 0.1,
+        missing_injection_rate: float = 0.05,
+        **kwargs,
+    ):
+        super().__init__(window=window, **kwargs)
+        self.hidden = hidden
+        self.latent = latent
+        self.kl_weight = kl_weight
+        self.missing_injection_rate = missing_injection_rate
+        self.vae: VariationalAutoencoder | None = None
+
+    # ------------------------------------------------------------------
+    def _build(self, num_variates: int, rng: np.random.Generator) -> None:
+        self.vae = VariationalAutoencoder(self.window, self.hidden, self.latent, rng=rng)
+
+    def _parameters(self):
+        return self.vae.parameters()
+
+    def _fold(self, windows: np.ndarray) -> np.ndarray:
+        """(B, window, N) -> (B * N, window): each variate is its own sample."""
+        batch, window, variates = windows.shape
+        return windows.transpose(0, 2, 1).reshape(batch * variates, window)
+
+    def _loss(self, windows: np.ndarray, rng: np.random.Generator):
+        folded = self._fold(windows)
+        # Missing-data injection (Donut's M-ELBO trick): randomly zero some
+        # inputs so the decoder cannot simply copy them.
+        mask = rng.random(folded.shape) < self.missing_injection_rate
+        corrupted = folded.copy()
+        corrupted[mask] = 0.0
+        reconstruction, mean, log_var = self.vae(Tensor(corrupted), rng)
+        return mse_loss(reconstruction, Tensor(folded)) + self.kl_weight * kl_divergence_normal(mean, log_var)
+
+    def _window_scores(self, windows: np.ndarray) -> np.ndarray:
+        batch, _, variates = windows.shape
+        folded = self._fold(windows)
+        mean, _ = self.vae.encode(Tensor(folded))
+        reconstruction = self.vae.decode(mean).data
+        errors = np.abs(folded - reconstruction)[:, -1]
+        return errors.reshape(batch, variates)

@@ -1,0 +1,145 @@
+"""Shared infrastructure for the neural-network baselines.
+
+All deep baselines (Donut, OmniAnomaly, AnomalyTransformer, TranAD, GDN, ESG,
+TimesNet) follow the same outer loop: standardise the series, slide a window
+over it, train a model on the windows with Adam, and at inference assign each
+timestamp the score produced by the window that ends there.  This class
+factors out that loop so each baseline only defines its model, its loss and
+its per-window scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.preprocessing import StandardScaler
+from ..nn import Adam, clip_grad_norm, no_grad
+from .base import BaseDetector
+
+__all__ = ["WindowedNeuralDetector"]
+
+
+class WindowedNeuralDetector(BaseDetector):
+    """Base class handling windowing, training and scoring for neural baselines."""
+
+    name = "neural"
+
+    def __init__(
+        self,
+        window: int = 32,
+        train_stride: int = 2,
+        epochs: int = 5,
+        batch_size: int = 32,
+        learning_rate: float = 1e-3,
+        grad_clip: float = 5.0,
+        seed: int = 0,
+        pot_level: float = 0.99,
+        pot_q: float = 1e-3,
+    ):
+        super().__init__(pot_level, pot_q)
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        if epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        self.window = window
+        self.train_stride = max(train_stride, 1)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.grad_clip = grad_clip
+        self.seed = seed
+        self.scaler: StandardScaler | None = None
+        self._train_tail: np.ndarray | None = None
+        self._model_built = False
+        self.training_losses_: list[float] = []
+
+    # ------------------------------------------------------------------
+    # hooks implemented by each baseline
+    # ------------------------------------------------------------------
+    def _build(self, num_variates: int, rng: np.random.Generator) -> None:
+        """Construct the model; called once at the beginning of ``fit``."""
+        raise NotImplementedError
+
+    def _parameters(self):
+        """Return the trainable parameters of the model."""
+        raise NotImplementedError
+
+    def _loss(self, windows: np.ndarray, rng: np.random.Generator):
+        """Training loss (a Tensor) for a batch of windows ``(B, window, N)``."""
+        raise NotImplementedError
+
+    def _window_scores(self, windows: np.ndarray) -> np.ndarray:
+        """Anomaly scores ``(B, N)`` for the *last* timestamp of each window."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _windows(self, series: np.ndarray, stride: int) -> tuple[np.ndarray, np.ndarray]:
+        """All windows of the series with the given stride, plus their end indices."""
+        length = series.shape[0]
+        ends = np.arange(self.window - 1, length, stride)
+        windows = np.stack([series[end - self.window + 1: end + 1] for end in ends])
+        return windows, ends
+
+    def fit(self, train: np.ndarray, timestamps: np.ndarray | None = None) -> "WindowedNeuralDetector":
+        train = self._validate_series(train)
+        rng = np.random.default_rng(self.seed)
+        self.window = min(self.window, train.shape[0])
+        self.scaler = StandardScaler().fit(train)
+        scaled = self.scaler.transform(train)
+
+        self._build(train.shape[1], rng)
+        self._model_built = True
+        optimizer = Adam(self._parameters(), lr=self.learning_rate)
+
+        windows, _ = self._windows(scaled, self.train_stride)
+        self.training_losses_ = []
+        for _ in range(self.epochs):
+            order = rng.permutation(len(windows))
+            epoch_losses = []
+            for start in range(0, len(order), self.batch_size):
+                batch = windows[order[start:start + self.batch_size]]
+                loss = self._loss(batch, rng)
+                optimizer.zero_grad()
+                loss.backward()
+                clip_grad_norm(self._parameters(), self.grad_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            self.training_losses_.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+
+        # Calibrate before storing the context tail so that scoring the
+        # training series itself does not prepend (duplicate) its own tail.
+        self._train_tail = None
+        self._calibrate(train, timestamps)
+        self._train_tail = scaled[-(self.window - 1):] if self.window > 1 else scaled[:0]
+        return self
+
+    def score(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+        series = self._validate_series(series)
+        if not self._model_built or self.scaler is None:
+            raise RuntimeError(f"{self.name} must be fitted before scoring")
+        scaled = self.scaler.transform(series)
+        num_points = scaled.shape[0]
+
+        context = self._train_tail if self._train_tail is not None else scaled[:0]
+        full = np.concatenate([context, scaled], axis=0) if len(context) else scaled
+        offset = full.shape[0] - num_points
+
+        scores = np.zeros_like(scaled)
+        covered = np.zeros(num_points, dtype=bool)
+        if full.shape[0] < self.window:
+            return scores
+        with no_grad():
+            ends = np.arange(self.window - 1, full.shape[0])
+            for start in range(0, len(ends), self.batch_size):
+                chunk = ends[start:start + self.batch_size]
+                windows = np.stack([full[e - self.window + 1: e + 1] for e in chunk])
+                batch_scores = self._window_scores(windows)
+                for row, end in enumerate(chunk):
+                    position = int(end) - offset
+                    if 0 <= position < num_points:
+                        scores[position] = batch_scores[row]
+                        covered[position] = True
+        if covered.any():
+            first = int(np.argmax(covered))
+            scores[:first] = scores[first]
+        return scores

@@ -1,0 +1,76 @@
+"""OmniAnomaly (Su et al., KDD 2019): stochastic recurrent VAE for multivariate series.
+
+The model runs a GRU over the multivariate window, maps the final hidden state
+to a Gaussian latent, and decodes the whole window jointly.  Anomaly scores
+are the per-variate reconstruction errors at the last timestamp (the paper's
+reconstruction-probability criterion reduces to this under a fixed-variance
+Gaussian likelihood).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import GRU, Linear, Module, Sequential, Tanh, Tensor, kl_divergence_normal, mse_loss
+from .neural_base import WindowedNeuralDetector
+
+__all__ = ["OmniAnomaly"]
+
+
+class _RecurrentVae(Module):
+    """GRU encoder + MLP decoder over multivariate windows."""
+
+    def __init__(self, num_variates: int, window: int, hidden: int, latent: int, rng: np.random.Generator):
+        super().__init__()
+        self.window = window
+        self.num_variates = num_variates
+        self.encoder_gru = GRU(num_variates, hidden, rng=rng)
+        self.mean_head = Linear(hidden, latent, rng=rng)
+        self.log_var_head = Linear(hidden, latent, rng=rng)
+        self.decoder = Sequential(
+            Linear(latent, hidden, rng=rng),
+            Tanh(),
+            Linear(hidden, window * num_variates, rng=rng),
+        )
+
+    def encode(self, windows: Tensor) -> tuple[Tensor, Tensor]:
+        _, final_hidden = self.encoder_gru(windows)
+        return self.mean_head(final_hidden), self.log_var_head(final_hidden)
+
+    def decode(self, latent: Tensor, batch: int) -> Tensor:
+        flat = self.decoder(latent)
+        return flat.reshape(batch, self.window, self.num_variates)
+
+
+class OmniAnomaly(WindowedNeuralDetector):
+    """Multivariate GRU-VAE anomaly detector."""
+
+    name = "OmniAnomaly"
+
+    def __init__(self, window: int = 32, hidden: int = 32, latent: int = 8, kl_weight: float = 0.1, **kwargs):
+        super().__init__(window=window, **kwargs)
+        self.hidden = hidden
+        self.latent = latent
+        self.kl_weight = kl_weight
+        self.vae: _RecurrentVae | None = None
+
+    def _build(self, num_variates: int, rng: np.random.Generator) -> None:
+        self.vae = _RecurrentVae(num_variates, self.window, self.hidden, self.latent, rng)
+
+    def _parameters(self):
+        return self.vae.parameters()
+
+    def _loss(self, windows: np.ndarray, rng: np.random.Generator):
+        batch = windows.shape[0]
+        inputs = Tensor(windows)
+        mean, log_var = self.vae.encode(inputs)
+        noise = Tensor(rng.standard_normal(mean.shape))
+        latent = mean + (log_var * 0.5).exp() * noise
+        reconstruction = self.vae.decode(latent, batch)
+        return mse_loss(reconstruction, inputs) + self.kl_weight * kl_divergence_normal(mean, log_var)
+
+    def _window_scores(self, windows: np.ndarray) -> np.ndarray:
+        batch = windows.shape[0]
+        mean, _ = self.vae.encode(Tensor(windows))
+        reconstruction = self.vae.decode(mean, batch).data
+        return np.abs(windows - reconstruction)[:, -1, :]

@@ -1,0 +1,197 @@
+"""Statistical (training-free or lightly calibrated) univariate baselines.
+
+* :class:`TemplateMatching` — the supervised celestial-event discovery method
+  of SciDetector (Duan et al., ICDE 2019): pre-defined event templates are
+  slid over each light curve and the normalised cross-correlation is the
+  anomaly score.
+* :class:`SpectralResidual` — SR (Ren et al., KDD 2019): saliency detection
+  in the frequency domain; training-free.
+* :class:`Spot` — SPOT (Siffer et al., KDD 2017): extreme-value scores per
+  variate (the EVT thresholding itself is shared by the evaluation protocol).
+* :class:`FluxEV` — FluxEV (Li et al., WSDM 2021): two-step fluctuation
+  extraction followed by exponentially weighted smoothing, which turns
+  pattern deviations (not only extreme values) into large scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.anomalies import flare_template, microlensing_template, nova_template
+from .base import BaseDetector
+
+__all__ = ["TemplateMatching", "SpectralResidual", "Spot", "FluxEV"]
+
+
+class TemplateMatching(BaseDetector):
+    """Matched filtering against a bank of pre-defined transient templates."""
+
+    name = "TM"
+
+    def __init__(self, template_length: int = 24, pot_level: float = 0.99, pot_q: float = 1e-3):
+        super().__init__(pot_level, pot_q)
+        if template_length < 4:
+            raise ValueError("template_length must be at least 4")
+        self.template_length = template_length
+        self.templates = self._build_templates(template_length)
+        self._train_mean: np.ndarray | None = None
+        self._train_std: np.ndarray | None = None
+
+    @staticmethod
+    def _build_templates(length: int) -> list[np.ndarray]:
+        templates = [
+            flare_template(length, amplitude=1.0),
+            microlensing_template(length, amplitude=1.0),
+            nova_template(length, amplitude=1.0),
+        ]
+        return [(t - t.mean()) / (np.linalg.norm(t - t.mean()) + 1e-12) for t in templates]
+
+    def fit(self, train: np.ndarray, timestamps: np.ndarray | None = None) -> "TemplateMatching":
+        train = self._validate_series(train)
+        self._train_mean = train.mean(axis=0)
+        self._train_std = np.maximum(train.std(axis=0), 1e-8)
+        self._calibrate(train, timestamps)
+        return self
+
+    def score(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+        series = self._validate_series(series)
+        if self._train_mean is None:
+            raise RuntimeError("TemplateMatching must be fitted before scoring")
+        normalized = (series - self._train_mean) / self._train_std
+        length, num_variates = normalized.shape
+        scores = np.zeros_like(normalized)
+        window = min(self.template_length, length)
+        templates = self._build_templates(window) if window != self.template_length else self.templates
+        for variate in range(num_variates):
+            column = normalized[:, variate]
+            best = np.zeros(length)
+            for template in templates:
+                correlation = np.correlate(column, template, mode="full")[window - 1: window - 1 + length]
+                best = np.maximum(best, np.abs(correlation))
+            scores[:, variate] = best
+        return scores
+
+
+class SpectralResidual(BaseDetector):
+    """Spectral-residual saliency scores (SR), applied per variate."""
+
+    name = "SR"
+
+    def __init__(
+        self,
+        smoothing_window: int = 3,
+        score_window: int = 21,
+        pot_level: float = 0.99,
+        pot_q: float = 1e-3,
+    ):
+        super().__init__(pot_level, pot_q)
+        if smoothing_window < 1 or score_window < 1:
+            raise ValueError("window sizes must be positive")
+        self.smoothing_window = smoothing_window
+        self.score_window = score_window
+
+    def fit(self, train: np.ndarray, timestamps: np.ndarray | None = None) -> "SpectralResidual":
+        train = self._validate_series(train)
+        # SR is training-free; only POT calibration uses the training split.
+        self._calibrate(train, timestamps)
+        return self
+
+    def _saliency(self, column: np.ndarray) -> np.ndarray:
+        spectrum = np.fft.fft(column)
+        amplitude = np.abs(spectrum)
+        amplitude = np.maximum(amplitude, 1e-12)
+        log_amplitude = np.log(amplitude)
+        kernel = np.ones(self.smoothing_window) / self.smoothing_window
+        smoothed = np.convolve(log_amplitude, kernel, mode="same")
+        spectral_residual = log_amplitude - smoothed
+        saliency = np.abs(np.fft.ifft(np.exp(spectral_residual + 1j * np.angle(spectrum))))
+        return saliency
+
+    def score(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+        series = self._validate_series(series)
+        scores = np.zeros_like(series)
+        for variate in range(series.shape[1]):
+            saliency = self._saliency(series[:, variate])
+            window = min(self.score_window, len(saliency))
+            kernel = np.ones(window) / window
+            local_average = np.convolve(saliency, kernel, mode="same")
+            scores[:, variate] = (saliency - local_average) / np.maximum(local_average, 1e-8)
+        return np.maximum(scores, 0.0)
+
+
+class Spot(BaseDetector):
+    """SPOT-style extreme-value scores: absolute deviation from the running level."""
+
+    name = "SPOT"
+
+    def __init__(self, pot_level: float = 0.99, pot_q: float = 1e-3):
+        super().__init__(pot_level, pot_q)
+        self._train_median: np.ndarray | None = None
+        self._train_mad: np.ndarray | None = None
+
+    def fit(self, train: np.ndarray, timestamps: np.ndarray | None = None) -> "Spot":
+        train = self._validate_series(train)
+        self._train_median = np.median(train, axis=0)
+        mad = np.median(np.abs(train - self._train_median), axis=0)
+        self._train_mad = np.maximum(mad, 1e-8)
+        self._calibrate(train, timestamps)
+        return self
+
+    def score(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+        series = self._validate_series(series)
+        if self._train_median is None:
+            raise RuntimeError("SPOT must be fitted before scoring")
+        return np.abs(series - self._train_median) / self._train_mad
+
+
+class FluxEV(BaseDetector):
+    """FluxEV: fluctuation extraction + EWMA smoothing before EVT thresholding."""
+
+    name = "FluxEV"
+
+    def __init__(
+        self,
+        local_window: int = 10,
+        period: int | None = None,
+        smoothing: float = 0.3,
+        pot_level: float = 0.99,
+        pot_q: float = 1e-3,
+    ):
+        super().__init__(pot_level, pot_q)
+        if local_window < 2:
+            raise ValueError("local_window must be at least 2")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.local_window = local_window
+        self.period = period
+        self.smoothing = smoothing
+
+    def fit(self, train: np.ndarray, timestamps: np.ndarray | None = None) -> "FluxEV":
+        train = self._validate_series(train)
+        self._calibrate(train, timestamps)
+        return self
+
+    def _fluctuation(self, column: np.ndarray) -> np.ndarray:
+        """First-step smoothing: remove the locally predictable component."""
+        length = len(column)
+        window = min(self.local_window, length)
+        padded = np.concatenate([np.full(window, column[0]), column])
+        local_mean = np.array([padded[i:i + window].mean() for i in range(length)])
+        residual = column - local_mean
+        # Second step: EWMA of the squared residuals captures the magnitude of
+        # recent fluctuation; deviations of the residual beyond that level are
+        # the anomaly evidence.
+        ewma = np.zeros(length)
+        running = 0.0
+        for index in range(length):
+            running = self.smoothing * residual[index] ** 2 + (1.0 - self.smoothing) * running
+            ewma[index] = running
+        spread = np.sqrt(np.maximum(ewma, 1e-12))
+        return np.abs(residual) / np.maximum(np.median(spread), 1e-8)
+
+    def score(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+        series = self._validate_series(series)
+        scores = np.zeros_like(series)
+        for variate in range(series.shape[1]):
+            scores[:, variate] = self._fluctuation(series[:, variate])
+        return scores

@@ -1,0 +1,85 @@
+"""TranAD (Tuli et al., VLDB 2022): self-conditioned adversarial Transformer.
+
+TranAD runs two reconstruction phases.  Phase 1 reconstructs the window from
+the input with a zero "focus score"; phase 2 conditions the encoder on the
+phase-1 error (the focus score), which amplifies regions the model failed to
+reconstruct.  Two decoders are trained adversarially; following the original
+implementation the anomaly score is the average of both phases' errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, TransformerDecoderLayer, TransformerEncoderLayer, mse_loss
+from .neural_base import WindowedNeuralDetector
+
+__all__ = ["TranAD"]
+
+
+class _TranADModel(Module):
+    """Encoder shared by two decoders; input is [window ; focus score]."""
+
+    def __init__(self, num_variates: int, d_model: int, num_heads: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_projection = Linear(2 * num_variates, d_model, rng=rng)
+        self.encoder = TransformerEncoderLayer(d_model, num_heads, rng=rng)
+        self.decoder1 = TransformerDecoderLayer(d_model, num_heads, rng=rng)
+        self.decoder2 = TransformerDecoderLayer(d_model, num_heads, rng=rng)
+        self.output1 = Linear(d_model, num_variates, rng=rng)
+        self.output2 = Linear(d_model, num_variates, rng=rng)
+
+    def forward(self, windows: Tensor, focus: Tensor) -> tuple[Tensor, Tensor]:
+        conditioned = Tensor.concat([windows, focus], axis=-1)
+        hidden = self.input_projection(conditioned)
+        memory = self.encoder(hidden)
+        decoded1 = self.decoder1(hidden, memory)
+        decoded2 = self.decoder2(hidden, memory)
+        # The original uses a sigmoid because its inputs are min-max scaled to
+        # [0, 1]; here the shared pipeline standardises instead, so the output
+        # heads are linear.
+        return self.output1(decoded1), self.output2(decoded2)
+
+
+class TranAD(WindowedNeuralDetector):
+    """Adversarial self-conditioning Transformer for multivariate series."""
+
+    name = "TranAD"
+
+    def __init__(self, window: int = 32, d_model: int = 16, num_heads: int = 2, **kwargs):
+        super().__init__(window=window, **kwargs)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.model: _TranADModel | None = None
+
+    def _build(self, num_variates: int, rng: np.random.Generator) -> None:
+        self.model = _TranADModel(num_variates, self.d_model, self.num_heads, rng)
+
+    def _parameters(self):
+        return self.model.parameters()
+
+    def _two_phase(self, windows: np.ndarray) -> tuple[Tensor, Tensor, Tensor]:
+        """Run both phases; returns (phase-1 output, phase-2 outputs)."""
+        inputs = Tensor(windows)
+        zero_focus = Tensor(np.zeros_like(windows))
+        phase1_out1, _ = self.model(inputs, zero_focus)
+        focus = (inputs - phase1_out1.detach()) * (inputs - phase1_out1.detach())
+        phase2_out1, phase2_out2 = self.model(inputs, focus)
+        return phase1_out1, phase2_out1, phase2_out2
+
+    def _loss(self, windows: np.ndarray, rng: np.random.Generator):
+        inputs = Tensor(windows)
+        phase1, phase2_d1, phase2_d2 = self._two_phase(windows)
+        # Simplified adversarial objective: decoder 1 minimises both phases'
+        # errors; decoder 2 focuses on the conditioned (harder) phase.
+        loss1 = mse_loss(phase1, inputs)
+        loss2 = mse_loss(phase2_d1, inputs)
+        loss3 = mse_loss(phase2_d2, inputs)
+        return loss1 + 0.5 * (loss2 + loss3)
+
+    def _window_scores(self, windows: np.ndarray) -> np.ndarray:
+        phase1, phase2_d1, _ = self._two_phase(windows)
+        error1 = np.abs(windows - phase1.data)
+        error2 = np.abs(windows - phase2_d1.data)
+        combined = 0.5 * error1 + 0.5 * error2
+        return combined[:, -1, :]

@@ -1,0 +1,47 @@
+"""AERO: the paper's primary contribution.
+
+Public entry points:
+
+* :class:`AeroDetector` — fit / score / detect / evaluate on ``(T, N)`` series;
+* :class:`AeroConfig` — hyperparameters (``AeroConfig.paper()`` /
+  ``AeroConfig.fast()``);
+* :class:`AeroModel`, :class:`AeroTrainer` — lower-level model and training loop;
+* :func:`build_variant` — ablation variants of Table IV;
+* graph-learning helpers used in the analysis of Fig. 8.
+"""
+
+from .config import AeroConfig
+from .time_embedding import TimeEmbedding
+from .temporal import TemporalReconstructionModule
+from .graph_learning import (
+    window_wise_adjacency,
+    batch_window_adjacency,
+    static_complete_adjacency,
+    noise_ground_truth_graph,
+)
+from .noise_module import ConcurrentNoiseReconstructionModule
+from .model import AeroModel, AeroForwardResult
+from .trainer import AeroTrainer, TrainingHistory, EarlyStopping
+from .detector import AeroDetector, DetectionReport
+from .variants import ABLATION_VARIANTS, VARIANT_LABELS, build_variant
+
+__all__ = [
+    "AeroConfig",
+    "TimeEmbedding",
+    "TemporalReconstructionModule",
+    "window_wise_adjacency",
+    "batch_window_adjacency",
+    "static_complete_adjacency",
+    "noise_ground_truth_graph",
+    "ConcurrentNoiseReconstructionModule",
+    "AeroModel",
+    "AeroForwardResult",
+    "AeroTrainer",
+    "TrainingHistory",
+    "EarlyStopping",
+    "AeroDetector",
+    "DetectionReport",
+    "ABLATION_VARIANTS",
+    "VARIANT_LABELS",
+    "build_variant",
+]

@@ -1,0 +1,237 @@
+"""High-level AERO anomaly detector (Algorithm 2: online detection).
+
+:class:`AeroDetector` is the public entry point of the library.  It wraps
+
+* min-max normalisation of the magnitudes (the temporal module's decoder ends
+  with a sigmoid, so reconstructions live in [0, 1]);
+* the two-stage offline training of :class:`~repro.core.trainer.AeroTrainer`;
+* online scoring with a stride-1 sliding window: the anomaly score of star
+  ``n`` at time ``t`` is ``| y - y_hat_1 - y_hat_2 |`` at the last timestamp
+  of the window ending at ``t`` (Eq. 17);
+* automatic thresholding with POT and point-wise labels (Eq. 18).
+
+Typical usage::
+
+    detector = AeroDetector(AeroConfig.fast())
+    detector.fit(dataset.train)
+    scores = detector.score(dataset.test)
+    labels = detector.detect(dataset.test)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.preprocessing import MinMaxScaler
+from ..data.windows import WindowDataset
+from ..evaluation import DetectionOutcome, evaluate_scores, pot_threshold
+from .config import AeroConfig
+from .model import AeroModel
+from .trainer import AeroTrainer, TrainingHistory
+
+__all__ = ["AeroDetector", "DetectionReport"]
+
+
+@dataclass
+class DetectionReport:
+    """Bundle returned by :meth:`AeroDetector.evaluate`."""
+
+    outcome: DetectionOutcome
+    train_scores: np.ndarray
+    test_scores: np.ndarray
+    history: TrainingHistory
+
+
+class AeroDetector:
+    """Unsupervised anomaly detector for astronomical multivariate time series."""
+
+    def __init__(
+        self,
+        config: AeroConfig | None = None,
+        use_temporal: bool = True,
+        use_noise_module: bool = True,
+        multivariate_input: bool = False,
+        use_short_window: bool = True,
+        graph_mode: str = "window",
+        verbose: bool = False,
+    ):
+        self.config = config or AeroConfig()
+        self.use_temporal = use_temporal
+        self.use_noise_module = use_noise_module
+        self.multivariate_input = multivariate_input
+        self.use_short_window = use_short_window
+        self.graph_mode = graph_mode
+        self.verbose = verbose
+
+        self.model: AeroModel | None = None
+        self.scaler: MinMaxScaler | None = None
+        self.history: TrainingHistory | None = None
+        self.train_scores_: np.ndarray | None = None
+        self._train_tail: np.ndarray | None = None
+        self._train_tail_times: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _require_fitted(self) -> AeroModel:
+        if self.model is None or self.scaler is None:
+            raise RuntimeError("the detector must be fitted before scoring")
+        return self.model
+
+    def _effective_window(self, series_length: int) -> tuple[int, int]:
+        """Clamp the configured windows to the available series length."""
+        window = min(self.config.window, series_length)
+        short = min(self.config.short_window, window)
+        if self.config.conditioning == "masked" and short >= window:
+            # Masked conditioning needs context preceding the short window.
+            short = max(window // 2, 1)
+        return window, short
+
+    # ------------------------------------------------------------------
+    def fit(self, train: np.ndarray, timestamps: np.ndarray | None = None) -> "AeroDetector":
+        """Train AERO on an unlabeled training series of shape ``(T, N)``."""
+        train = np.asarray(train, dtype=np.float64)
+        if train.ndim != 2:
+            raise ValueError("training series must be 2-D (time, variates)")
+        window, short = self._effective_window(train.shape[0])
+        config = self.config.scaled(window=window, short_window=short)
+
+        self.scaler = MinMaxScaler()
+        scaled = self.scaler.fit_transform(train)
+        self.model = AeroModel(
+            config,
+            num_variates=train.shape[1],
+            use_temporal=self.use_temporal,
+            use_noise_module=self.use_noise_module,
+            multivariate_input=self.multivariate_input,
+            use_short_window=self.use_short_window,
+            graph_mode=self.graph_mode,
+        )
+        if self.model.noise is not None:
+            # Message passing operates in raw magnitude units (see the noise
+            # module's ``set_node_scales`` docstring).
+            ranges = np.maximum(self.scaler.data_max_ - self.scaler.data_min_, 1e-8)
+            self.model.noise.set_node_scales(ranges)
+        window_dataset = WindowDataset(
+            scaled,
+            window=config.window,
+            short_window=config.short_window,
+            timestamps=timestamps,
+            stride=config.train_stride,
+        )
+        trainer = AeroTrainer(config, verbose=self.verbose)
+        self.history = trainer.train(self.model, window_dataset)
+        self.config = config
+
+        # Keep the tail of the training series as context so that the first
+        # test points can be scored, and calibrate POT on the train scores.
+        self._train_tail = scaled[-(config.window - 1):] if config.window > 1 else scaled[:0]
+        if timestamps is not None:
+            timestamps = np.asarray(timestamps, dtype=np.float64)
+            self._train_tail_times = timestamps[-(config.window - 1):] if config.window > 1 else timestamps[:0]
+        self.train_scores_ = self._score_scaled(scaled, timestamps, prepend_context=False)
+        return self
+
+    # ------------------------------------------------------------------
+    def _score_scaled(
+        self,
+        scaled: np.ndarray,
+        timestamps: np.ndarray | None,
+        prepend_context: bool,
+    ) -> np.ndarray:
+        """Score an already-normalized series; returns ``(T, N)`` anomaly scores."""
+        model = self._require_fitted()
+        config = self.config
+        num_points, num_variates = scaled.shape
+
+        context_length = 0
+        if prepend_context and self._train_tail is not None and len(self._train_tail):
+            scaled = np.concatenate([self._train_tail, scaled], axis=0)
+            context_length = len(self._train_tail)
+            if timestamps is not None and self._train_tail_times is not None and len(self._train_tail_times) == context_length:
+                timestamps = np.concatenate([self._train_tail_times, np.asarray(timestamps, dtype=np.float64)])
+            else:
+                timestamps = None
+
+        scores = np.zeros((num_points, num_variates))
+        covered = np.zeros(num_points, dtype=bool)
+        if scaled.shape[0] < config.window:
+            return scores
+
+        window_dataset = WindowDataset(
+            scaled,
+            window=config.window,
+            short_window=config.short_window,
+            timestamps=timestamps,
+            stride=1,
+        )
+        if model.noise is not None and model.noise.graph_mode == "dynamic":
+            model.noise.reset_dynamic_state()
+        for batch in window_dataset.batches(config.batch_size, shuffle=False):
+            result = model(batch.long, batch.short, batch.long_times, batch.short_times)
+            for row, end in enumerate(batch.end_indices):
+                position = int(end) - context_length
+                if 0 <= position < num_points:
+                    scores[position] = result.scores[row]
+                    covered[position] = True
+        # Early points that no window reaches inherit the first computed score,
+        # so every timestamp has a well-defined (if conservative) score.
+        if covered.any():
+            first = int(np.argmax(covered))
+            scores[:first] = scores[first]
+        return scores
+
+    def score(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+        """Anomaly scores for every point of ``series`` (shape ``(T, N)``)."""
+        self._require_fitted()
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 2:
+            raise ValueError("series must be 2-D (time, variates)")
+        scaled = self.scaler.transform(series)
+        return self._score_scaled(scaled, timestamps, prepend_context=True)
+
+    # ------------------------------------------------------------------
+    def threshold(self) -> float:
+        """POT threshold calibrated on the training scores (Eq. 18)."""
+        if self.train_scores_ is None:
+            raise RuntimeError("the detector must be fitted before thresholding")
+        return pot_threshold(self.train_scores_, level=self.config.pot_level, q=self.config.pot_q)
+
+    def detect(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+        """Binary anomaly labels ``O_t`` for every point of ``series``."""
+        scores = self.score(series, timestamps)
+        return (scores >= self.threshold()).astype(np.int64)
+
+    def evaluate(
+        self,
+        test: np.ndarray,
+        test_labels: np.ndarray,
+        timestamps: np.ndarray | None = None,
+        point_adjust: bool = True,
+    ) -> DetectionReport:
+        """Score ``test`` and evaluate against labels with the paper's protocol."""
+        if self.train_scores_ is None:
+            raise RuntimeError("the detector must be fitted before evaluation")
+        test_scores = self.score(test, timestamps)
+        outcome = evaluate_scores(
+            self.train_scores_,
+            test_scores,
+            test_labels,
+            level=self.config.pot_level,
+            q=self.config.pot_q,
+            point_adjust=point_adjust,
+        )
+        return DetectionReport(
+            outcome=outcome,
+            train_scores=self.train_scores_,
+            test_scores=test_scores,
+            history=self.history,
+        )
+
+    # ------------------------------------------------------------------
+    def learned_graph(self) -> np.ndarray | None:
+        """The most recent window-wise adjacency matrix (for Fig. 8 analysis)."""
+        model = self._require_fitted()
+        if model.noise is None:
+            return None
+        return model.noise.last_adjacency

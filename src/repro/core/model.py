@@ -1,0 +1,168 @@
+"""The AERO model: temporal reconstruction + concurrent noise reconstruction.
+
+This module ties the two stages together (Fig. 4a).  The model consumes
+sliding-window batches produced by :class:`repro.data.windows.WindowDataset`
+and produces:
+
+* ``Y_hat_1`` — the per-variate reconstruction of the short window (stage 1);
+* ``E`` — the initial reconstruction errors ``Y - Y_hat_1`` (Eq. 11);
+* ``Y_hat_2`` — the concurrent-noise reconstruction from the window-wise
+  graph GCN (stage 2);
+* the combined anomaly scores ``|Y - Y_hat_1 - Y_hat_2|`` at the last
+  timestamp of each window (Eq. 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Module, Tensor, no_grad
+from .config import AeroConfig
+from .noise_module import ConcurrentNoiseReconstructionModule
+from .temporal import TemporalReconstructionModule
+
+__all__ = ["AeroModel", "AeroForwardResult"]
+
+
+@dataclass
+class AeroForwardResult:
+    """Outputs of a full (two-stage) forward pass over one batch."""
+
+    reconstruction: np.ndarray      # Y_hat_1, shape (batch, N, omega)
+    errors: np.ndarray              # Y - Y_hat_1
+    noise_reconstruction: np.ndarray  # Y_hat_2
+    residual: np.ndarray            # Y - Y_hat_1 - Y_hat_2
+    scores: np.ndarray              # |residual| at the last timestamp, shape (batch, N)
+
+
+class AeroModel(Module):
+    """Two-stage anomaly detection model for astronomical observations.
+
+    Parameters
+    ----------
+    config:
+        Hyperparameters (window sizes, Transformer dimensions, optimizer and
+        POT settings).
+    num_variates:
+        Number of stars ``N`` (needed by the ablation variant that feeds
+        multivariate input to the temporal module).
+    use_temporal / use_noise_module:
+        Toggle the two stages (ablations 1-i and 2-i/2-ii in Table IV).
+    multivariate_input:
+        Feed the temporal module joint multivariate input instead of folding
+        variates into the batch axis (ablations 1-ii and 2-ii).
+    use_short_window:
+        Reconstruct only the short window (the paper's design) or the whole
+        long window (ablation 1-iii).
+    graph_mode:
+        ``"window"`` (paper), ``"static"`` (ablation 2-iii) or ``"dynamic"``
+        (ablation 2-iv).
+    """
+
+    def __init__(
+        self,
+        config: AeroConfig,
+        num_variates: int,
+        use_temporal: bool = True,
+        use_noise_module: bool = True,
+        multivariate_input: bool = False,
+        use_short_window: bool = True,
+        graph_mode: str = "window",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if not use_temporal and not use_noise_module:
+            raise ValueError("at least one of the two modules must be enabled")
+        rng = rng or np.random.default_rng(config.seed)
+        self.config = config
+        self.num_variates = num_variates
+        self.use_temporal = use_temporal
+        self.use_noise_module = use_noise_module
+        self.use_short_window = use_short_window
+
+        effective_feature_dim = config.short_window if use_short_window else config.window
+        self.temporal = (
+            TemporalReconstructionModule(
+                config,
+                multivariate_input=multivariate_input,
+                num_variates=num_variates,
+                use_short_window=use_short_window,
+                rng=rng,
+            )
+            if use_temporal
+            else None
+        )
+        self.noise = (
+            ConcurrentNoiseReconstructionModule(
+                config,
+                feature_dim=effective_feature_dim,
+                graph_mode=graph_mode,
+                rng=rng,
+            )
+            if use_noise_module
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def temporal_forward(
+        self,
+        long_windows: np.ndarray,
+        short_windows: np.ndarray,
+        long_times: np.ndarray | None = None,
+        short_times: np.ndarray | None = None,
+    ) -> Tensor:
+        """Stage-1 forward pass producing ``Y_hat_1`` (as a Tensor for training)."""
+        if self.temporal is None:
+            raise RuntimeError("the temporal module is disabled in this variant")
+        return self.temporal(long_windows, short_windows, long_times, short_times)
+
+    def noise_forward(self, errors: np.ndarray, short_windows: np.ndarray) -> Tensor:
+        """Stage-2 forward pass producing ``Y_hat_2`` (as a Tensor for training)."""
+        if self.noise is None:
+            raise RuntimeError("the noise module is disabled in this variant")
+        return self.noise(errors, short_windows)
+
+    def _target(self, long_windows: np.ndarray, short_windows: np.ndarray) -> np.ndarray:
+        """The reconstruction target (short window, or long window in the ablation)."""
+        return short_windows if self.use_short_window else long_windows
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        long_windows: np.ndarray,
+        short_windows: np.ndarray,
+        long_times: np.ndarray | None = None,
+        short_times: np.ndarray | None = None,
+    ) -> AeroForwardResult:
+        """Full inference pass (no gradients), as used during online detection."""
+        long_windows = np.asarray(long_windows, dtype=np.float64)
+        short_windows = np.asarray(short_windows, dtype=np.float64)
+        target = self._target(long_windows, short_windows)
+
+        with no_grad():
+            if self.temporal is not None:
+                reconstruction = self.temporal(
+                    long_windows, short_windows, long_times, short_times
+                ).data
+            else:
+                # Without the temporal stage the "reconstruction" is zero and
+                # the graph is learned directly from the raw short windows.
+                reconstruction = np.zeros_like(target)
+            errors = target - reconstruction
+
+            if self.noise is not None:
+                noise_reconstruction = self.noise(errors, target).data
+            else:
+                noise_reconstruction = np.zeros_like(target)
+
+        residual = target - reconstruction - noise_reconstruction
+        scores = np.abs(residual[:, :, -1])
+        return AeroForwardResult(
+            reconstruction=reconstruction,
+            errors=errors,
+            noise_reconstruction=noise_reconstruction,
+            residual=residual,
+            scores=scores,
+        )

@@ -1,0 +1,164 @@
+"""Concurrent noise reconstruction module (Section III-D, Fig. 4c, Eq. 14).
+
+Given the stage-1 errors, a graph is built per window (window-wise graph
+structure learning) and a single GCN layer performs message passing *without
+self-loops*: a star affected by concurrent noise can be reconstructed from
+the other simultaneously affected stars, whereas a true anomaly — unique to
+its own star — cannot.  The module therefore reconstructs the noise component
+``Y_hat_2`` and leaves true anomalies with large residual errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import GCNLayer, Module, Tensor, normalize_adjacency
+from .config import AeroConfig
+from .graph_learning import (
+    batch_window_adjacency,
+    static_complete_adjacency,
+)
+
+__all__ = ["ConcurrentNoiseReconstructionModule"]
+
+
+class ConcurrentNoiseReconstructionModule(Module):
+    """GCN over window-wise learned graphs reconstructing concurrent noise.
+
+    Parameters
+    ----------
+    config:
+        Model hyperparameters; ``config.short_window`` is the node-feature
+        dimension (each star contributes its short-window values).
+    graph_mode:
+        ``"window"`` — window-wise graph learning (the paper's proposal);
+        ``"static"`` — a static complete graph (ablation 2-iii);
+        ``"dynamic"`` — an exponentially smoothed evolving graph in the style
+        of ESG (ablation 2-iv).
+    """
+
+    GRAPH_MODES = ("window", "static", "dynamic")
+
+    def __init__(
+        self,
+        config: AeroConfig,
+        feature_dim: int | None = None,
+        graph_mode: str = "window",
+        dynamic_decay: float = 0.9,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if graph_mode not in self.GRAPH_MODES:
+            raise ValueError(f"graph_mode must be one of {self.GRAPH_MODES}, got {graph_mode!r}")
+        rng = rng or np.random.default_rng(config.seed + 1)
+        self.config = config
+        self.graph_mode = graph_mode
+        self.dynamic_decay = dynamic_decay
+        feature_dim = feature_dim if feature_dim is not None else config.short_window
+        self.gcn = GCNLayer(feature_dim, feature_dim, activation=config.gcn_activation, rng=rng)
+        # Identity initialisation: the natural starting point is "a noise-affected
+        # star's error equals the aggregated error of its similarly affected
+        # neighbours"; training then refines this mapping.
+        self.gcn.weight.data = np.eye(feature_dim) + 0.01 * rng.standard_normal((feature_dim, feature_dim))
+        self.last_adjacency: np.ndarray | None = None
+        self._dynamic_state: np.ndarray | None = None
+        self._node_scales: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def set_node_scales(self, scales: np.ndarray | None) -> None:
+        """Set per-variate magnitude scales used during message passing.
+
+        Each variate is min-max normalised independently, so the same physical
+        interference (e.g. one magnitude of cloud extinction) appears with a
+        different amplitude in every star's normalised units.  Passing the
+        per-variate data ranges here makes the GCN aggregate errors in raw
+        magnitude units — where concurrent noise is additively shared across
+        stars — and converts its output back to normalised units.
+        """
+        if scales is None:
+            self._node_scales = None
+            return
+        scales = np.asarray(scales, dtype=np.float64).ravel()
+        if (scales <= 0).any():
+            raise ValueError("node scales must be strictly positive")
+        self._node_scales = scales
+
+    def reset_dynamic_state(self) -> None:
+        """Forget the smoothed graph used in ``dynamic`` mode."""
+        self._dynamic_state = None
+
+    def _adjacency_for(self, errors: np.ndarray) -> np.ndarray:
+        """Per-window adjacency matrices, shape ``(batch, N, N)``."""
+        batch, num_variates, _ = errors.shape
+        if self.graph_mode == "static":
+            complete = static_complete_adjacency(num_variates)
+            return np.broadcast_to(complete, (batch, num_variates, num_variates)).copy()
+        window_graphs = batch_window_adjacency(errors)
+        if self.graph_mode == "window":
+            return window_graphs
+        # Dynamic mode: exponentially smooth graphs across windows so the
+        # structure evolves slowly, mimicking dynamic-graph baselines.
+        smoothed = np.empty_like(window_graphs)
+        state = self._dynamic_state
+        for index in range(batch):
+            if state is None:
+                state = window_graphs[index]
+            else:
+                state = self.dynamic_decay * state + (1.0 - self.dynamic_decay) * window_graphs[index]
+            smoothed[index] = state
+        self._dynamic_state = state
+        return smoothed
+
+    # ------------------------------------------------------------------
+    def forward(self, errors: np.ndarray, short_windows: np.ndarray) -> Tensor:
+        """Reconstruct the concurrent-noise component ``Y_hat_2``.
+
+        Parameters
+        ----------
+        errors:
+            Stage-1 reconstruction errors ``E_t`` of shape ``(batch, N, omega)``.
+            They serve both as the embedding from which the window-wise graph
+            is learned (Eq. 12-13) and as the node features that are passed
+            between stars (Fig. 4a: "the initial reconstruction errors from
+            the first module are concatenated as the input of the concurrent
+            noise reconstruction module").  Self-loops are removed, so a true
+            anomaly cannot be explained from its own error signature.
+        short_windows:
+            The short-window inputs ``Y_t`` of shape ``(batch, N, omega)``;
+            kept for interface completeness and shape validation.
+
+        Returns
+        -------
+        Tensor ``(batch, N, omega)``.
+        """
+        errors = np.asarray(errors, dtype=np.float64)
+        short_windows = np.asarray(short_windows, dtype=np.float64)
+        if errors.shape != short_windows.shape:
+            raise ValueError(
+                f"errors and short windows must align: {errors.shape} != {short_windows.shape}"
+            )
+        adjacency = self._adjacency_for(errors)
+        self.last_adjacency = adjacency[-1]
+
+        num_variates = errors.shape[1]
+        if self._node_scales is not None:
+            if len(self._node_scales) != num_variates:
+                raise ValueError(
+                    f"node scales length {len(self._node_scales)} does not match {num_variates} variates"
+                )
+            scales = self._node_scales
+        else:
+            scales = np.ones(num_variates)
+
+        outputs = []
+        for index in range(errors.shape[0]):
+            normalized = normalize_adjacency(
+                adjacency[index],
+                remove_self_loops=self.config.remove_self_loops,
+            )
+            # Aggregate in raw magnitude units, then convert back to each
+            # star's normalised units (see ``set_node_scales``).
+            features = Tensor(errors[index] * scales[:, None])
+            reconstructed = self.gcn(features, normalized)
+            outputs.append(reconstructed * Tensor(1.0 / scales[:, None]))
+        return Tensor.stack(outputs, axis=0)

@@ -1,0 +1,71 @@
+"""Time embedding with learnable phase shifts for irregular sampling (Eq. 1).
+
+Astronomical observations are recorded at irregular intervals (weather gaps,
+varying exposure overheads), so the standard positional encoding of the
+Transformer — which implicitly assumes equal spacing — is replaced by
+
+    TE_t[j] = sin(f_j * pos_t + alpha_j * delta_t) + cos(f_j * pos_t + alpha_j * delta_t)
+
+where ``f_j = (1/10000)^(j / d_model)`` is the usual frequency ladder,
+``pos_t`` is the absolute position, ``delta_t`` is the interval to the
+previous observation, and ``alpha_j`` is a learnable phase-shift parameter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Module, Parameter, Tensor
+
+__all__ = ["TimeEmbedding"]
+
+
+class TimeEmbedding(Module):
+    """Computes the irregular-interval-aware time embedding of Eq. 1."""
+
+    def __init__(self, d_model: int):
+        super().__init__()
+        if d_model <= 0:
+            raise ValueError("d_model must be positive")
+        self.d_model = d_model
+        exponents = np.arange(d_model, dtype=np.float64) / d_model
+        # Pre-defined angular frequencies f_j = (1/10000)^(j/d_model).
+        self.frequencies = (1.0 / 10000.0) ** exponents
+        # Learnable phase shifts alpha_j, initialised to one so the interval
+        # term contributes from the first step.
+        self.alpha = Parameter(np.ones(d_model))
+
+    def forward(self, timestamps: np.ndarray, position_offset: int = 0) -> Tensor:
+        """Embed a batch of timestamp windows.
+
+        Parameters
+        ----------
+        timestamps:
+            Array of shape ``(batch, length)`` (or ``(length,)``) holding the
+            observation times of each window.
+        position_offset:
+            Offset added to the within-window positions.  The decoder's short
+            window occupies the *last* ``omega`` positions of the long window,
+            so its embeddings use ``position_offset = W - omega`` to stay
+            aligned with the encoder's positions.
+
+        Returns
+        -------
+        Tensor of shape ``(batch, length, d_model)`` (or ``(length, d_model)``).
+        """
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        squeeze = timestamps.ndim == 1
+        if squeeze:
+            timestamps = timestamps[None, :]
+        if timestamps.ndim != 2:
+            raise ValueError("timestamps must be 1-D or 2-D")
+
+        positions = position_offset + np.arange(timestamps.shape[1], dtype=np.float64)
+        intervals = np.diff(timestamps, axis=1, prepend=timestamps[:, :1])
+
+        # phase = f_j * pos_t (constant) + alpha_j * delta_t (learnable)
+        positional = Tensor(positions[None, :, None] * self.frequencies[None, None, :])
+        interval_term = self.alpha * Tensor(intervals[:, :, None])
+        phase = positional + interval_term
+        embedding = phase.sin() + phase.cos()
+        return embedding.squeeze(0) if squeeze else embedding

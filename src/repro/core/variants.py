@@ -1,0 +1,57 @@
+"""Ablation variants of AERO (Table IV).
+
+Each variant is expressed as a different configuration of
+:class:`~repro.core.detector.AeroDetector`:
+
+===========================  =====================================================
+Variant id                    Modification
+===========================  =====================================================
+``full``                      the complete AERO model
+``no_temporal``               1-i   remove the temporal reconstruction module
+``no_univariate_input``       1-ii  feed multivariate input to the temporal module
+``no_short_window``           1-iii reconstruct the full long window
+``no_noise_module``           2-i   remove the concurrent-noise module
+``no_noise_multivariate``     2-ii  remove the noise module and use multivariate input
+``static_graph``              2-iii replace window-wise graphs with a complete static graph
+``dynamic_graph``             2-iv  replace window-wise graphs with an evolving dynamic graph
+===========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from .config import AeroConfig
+from .detector import AeroDetector
+
+__all__ = ["ABLATION_VARIANTS", "build_variant"]
+
+#: Mapping from variant id to AeroDetector keyword arguments.
+ABLATION_VARIANTS: dict[str, dict] = {
+    "full": {},
+    "no_temporal": {"use_temporal": False},
+    "no_univariate_input": {"multivariate_input": True},
+    "no_short_window": {"use_short_window": False},
+    "no_noise_module": {"use_noise_module": False},
+    "no_noise_multivariate": {"use_noise_module": False, "multivariate_input": True},
+    "static_graph": {"graph_mode": "static"},
+    "dynamic_graph": {"graph_mode": "dynamic"},
+}
+
+#: Human-readable names matching the rows of Table IV.
+VARIANT_LABELS: dict[str, str] = {
+    "full": "AERO",
+    "no_temporal": "1) i  w/o temporal",
+    "no_univariate_input": "1) ii w/o univariate input",
+    "no_short_window": "1) iii w/o short window",
+    "no_noise_module": "2) i  w/o concurrent noise",
+    "no_noise_multivariate": "2) ii w/o concurrent noise & univariate input",
+    "static_graph": "2) iii w/o window-wise graph (static)",
+    "dynamic_graph": "2) iv w/o window-wise graph (dynamic)",
+}
+
+
+def build_variant(name: str, config: AeroConfig | None = None, verbose: bool = False) -> AeroDetector:
+    """Instantiate the ablation variant ``name`` with the given configuration."""
+    if name not in ABLATION_VARIANTS:
+        raise KeyError(f"unknown variant {name!r}; options: {sorted(ABLATION_VARIANTS)}")
+    kwargs = dict(ABLATION_VARIANTS[name])
+    return AeroDetector(config=config, verbose=verbose, **kwargs)

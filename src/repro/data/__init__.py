@@ -1,0 +1,76 @@
+"""Datasets, generators and preprocessing for astronomical time series."""
+
+from .dataset import AstroDataset, train_test_split
+from .signals import (
+    gaussian_star,
+    sinusoidal_star,
+    eclipsing_binary_star,
+    trended_star,
+    sample_period,
+)
+from .anomalies import (
+    flare_template,
+    microlensing_template,
+    eclipse_template,
+    nova_template,
+    supernova_template,
+    inject_anomaly,
+    random_anomaly,
+    AnomalyInjection,
+    ANOMALY_TYPES,
+)
+from .noise import (
+    drift_noise,
+    darkening_noise,
+    brightening_noise,
+    inject_concurrent_noise,
+    NoiseEvent,
+    NOISE_TYPES,
+)
+from .synthetic import SyntheticConfig, generate_synthetic, load_synthetic, SYNTHETIC_PRESETS
+from .gwac import GwacConfig, generate_gwac, load_astroset, ASTROSET_PRESETS
+from .windows import sliding_windows, WindowDataset, WindowBatch
+from .preprocessing import MinMaxScaler, StandardScaler, fill_missing
+from .statistics import dataset_statistics, statistics_table, format_statistics_table
+
+__all__ = [
+    "AstroDataset",
+    "train_test_split",
+    "gaussian_star",
+    "sinusoidal_star",
+    "eclipsing_binary_star",
+    "trended_star",
+    "sample_period",
+    "flare_template",
+    "microlensing_template",
+    "eclipse_template",
+    "nova_template",
+    "supernova_template",
+    "inject_anomaly",
+    "random_anomaly",
+    "AnomalyInjection",
+    "ANOMALY_TYPES",
+    "drift_noise",
+    "darkening_noise",
+    "brightening_noise",
+    "inject_concurrent_noise",
+    "NoiseEvent",
+    "NOISE_TYPES",
+    "SyntheticConfig",
+    "generate_synthetic",
+    "load_synthetic",
+    "SYNTHETIC_PRESETS",
+    "GwacConfig",
+    "generate_gwac",
+    "load_astroset",
+    "ASTROSET_PRESETS",
+    "sliding_windows",
+    "WindowDataset",
+    "WindowBatch",
+    "MinMaxScaler",
+    "StandardScaler",
+    "fill_missing",
+    "dataset_statistics",
+    "statistics_table",
+    "format_statistics_table",
+]

@@ -1,0 +1,168 @@
+"""Dataset containers for astronomical multivariate time series.
+
+A dataset bundles the train/test magnitude matrices with per-point anomaly
+labels and concurrent-noise masks, mirroring the format used in the paper
+(Section III-A and Table I): ``N`` variates (stars) over ``CT`` timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["AstroDataset", "train_test_split"]
+
+
+@dataclass
+class AstroDataset:
+    """An astronomical observation dataset.
+
+    Attributes
+    ----------
+    name:
+        Human-readable dataset name (e.g. ``"SyntheticMiddle"``).
+    train:
+        Training magnitudes, shape ``(T_train, N)``.
+    test:
+        Test magnitudes, shape ``(T_test, N)``.
+    test_labels:
+        Binary true-anomaly labels aligned with ``test``, shape ``(T_test, N)``.
+    test_noise_mask:
+        Binary mask of points affected by concurrent noise in the test split.
+    train_noise_mask:
+        Same mask for the training split (the training data is unlabeled for
+        anomalies — the paper's setting is unsupervised — but noise is present).
+    train_timestamps / test_timestamps:
+        Observation times in seconds; irregular cadence is allowed.
+    metadata:
+        Free-form extras (e.g. which variates are variable stars).
+    """
+
+    name: str
+    train: np.ndarray
+    test: np.ndarray
+    test_labels: np.ndarray
+    test_noise_mask: np.ndarray
+    train_noise_mask: np.ndarray | None = None
+    train_timestamps: np.ndarray | None = None
+    test_timestamps: np.ndarray | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.train = np.asarray(self.train, dtype=np.float64)
+        self.test = np.asarray(self.test, dtype=np.float64)
+        self.test_labels = np.asarray(self.test_labels, dtype=np.int64)
+        self.test_noise_mask = np.asarray(self.test_noise_mask, dtype=np.int64)
+        if self.train.ndim != 2 or self.test.ndim != 2:
+            raise ValueError("train/test must be 2-D arrays of shape (time, variates)")
+        if self.train.shape[1] != self.test.shape[1]:
+            raise ValueError(
+                f"train and test must share the variate axis: "
+                f"{self.train.shape[1]} != {self.test.shape[1]}"
+            )
+        if self.test_labels.shape != self.test.shape:
+            raise ValueError("test_labels must have the same shape as test")
+        if self.test_noise_mask.shape != self.test.shape:
+            raise ValueError("test_noise_mask must have the same shape as test")
+        if self.train_noise_mask is not None:
+            self.train_noise_mask = np.asarray(self.train_noise_mask, dtype=np.int64)
+            if self.train_noise_mask.shape != self.train.shape:
+                raise ValueError("train_noise_mask must have the same shape as train")
+        if self.train_timestamps is None:
+            self.train_timestamps = np.arange(self.train.shape[0], dtype=np.float64)
+        if self.test_timestamps is None:
+            self.test_timestamps = np.arange(self.test.shape[0], dtype=np.float64)
+        self.train_timestamps = np.asarray(self.train_timestamps, dtype=np.float64)
+        self.test_timestamps = np.asarray(self.test_timestamps, dtype=np.float64)
+        if len(self.train_timestamps) != self.train.shape[0]:
+            raise ValueError("train_timestamps length must match train")
+        if len(self.test_timestamps) != self.test.shape[0]:
+            raise ValueError("test_timestamps length must match test")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_variates(self) -> int:
+        """Number of stars ``N``."""
+        return self.train.shape[1]
+
+    @property
+    def train_length(self) -> int:
+        return self.train.shape[0]
+
+    @property
+    def test_length(self) -> int:
+        return self.test.shape[0]
+
+    @property
+    def anomaly_rate(self) -> float:
+        """Fraction of anomalous points in the test split (Table I "Anomaly %")."""
+        return float(self.test_labels.mean())
+
+    @property
+    def noise_rate(self) -> float:
+        """Fraction of points affected by concurrent noise (Table I "Noise %")."""
+        return float(self.test_noise_mask.mean())
+
+    @property
+    def anomaly_to_noise_ratio(self) -> float:
+        """The A/N ratio from Table I (true anomalies over potential candidates)."""
+        noise = self.noise_rate
+        if noise == 0.0:
+            return float("inf") if self.anomaly_rate > 0 else 0.0
+        return self.anomaly_rate / noise
+
+    def anomaly_segments(self) -> list[tuple[int, int, int]]:
+        """Return ``(variate, start, end)`` for each contiguous anomaly segment."""
+        segments: list[tuple[int, int, int]] = []
+        for variate in range(self.num_variates):
+            labels = self.test_labels[:, variate]
+            start = None
+            for t, flag in enumerate(labels):
+                if flag and start is None:
+                    start = t
+                elif not flag and start is not None:
+                    segments.append((variate, start, t))
+                    start = None
+            if start is not None:
+                segments.append((variate, start, len(labels)))
+        return segments
+
+    def noise_affected_variates(self) -> int:
+        """Number of variates touched by concurrent noise (Table I "#Noise variates")."""
+        return int((self.test_noise_mask.sum(axis=0) > 0).sum())
+
+    def summary(self) -> dict:
+        """Table I row for this dataset."""
+        return {
+            "dataset": self.name,
+            "train": self.train_length,
+            "test": self.test_length,
+            "variates": self.num_variates,
+            "anomaly_pct": 100.0 * self.anomaly_rate,
+            "noise_pct": 100.0 * self.noise_rate,
+            "a_n_ratio": self.anomaly_to_noise_ratio,
+            "anomaly_segments": len(self.anomaly_segments()),
+            "noise_variates": self.noise_affected_variates(),
+        }
+
+
+def train_test_split(
+    series: np.ndarray,
+    labels: np.ndarray,
+    noise_mask: np.ndarray,
+    train_fraction: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split a full series into an unlabeled train part and a labeled test part.
+
+    Returns ``(train, test, test_labels, test_noise_mask)``.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    split = int(len(series) * train_fraction)
+    return (
+        series[:split],
+        series[split:],
+        labels[split:],
+        noise_mask[split:],
+    )

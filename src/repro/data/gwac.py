@@ -1,0 +1,239 @@
+"""GWAC-like real-world dataset simulator (the "Astrosets" substitution).
+
+The paper's three real-world datasets (AstrosetMiddle/High/Low) are light
+curves from the Ground-based Wide Angle Cameras of the National Astronomical
+Observatories of China.  Those observations are not publicly distributable,
+so this module simulates light curves with the same statistical structure
+(documented in ``DESIGN.md``):
+
+* many tens of stars per field, a mixture of non-variable, sinusoidal
+  variable, eclipsing-binary and slowly trending stars;
+* irregular observation cadence (nominal 15 s exposure with random gaps from
+  weather interruptions);
+* heavier and more frequent concurrent noise than the synthetic datasets —
+  cloud passages and the morning-sky brightening affect *all* stars in the
+  field (Table I reports every variate touched by noise);
+* very few true anomaly segments (2-6 per dataset), as flagged flare /
+  transient events are rare in practice;
+* heteroscedastic photometric noise: fainter stars have larger scatter.
+
+The three presets target the Table I statistics for number of variates,
+train/test length, anomaly segment counts and the relative ordering of the
+anomaly-to-noise ratio (High > Middle > Low in A/N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .anomalies import flare_template, microlensing_template, nova_template, inject_anomaly
+from .dataset import AstroDataset
+from .noise import inject_concurrent_noise
+from .signals import eclipsing_binary_star, gaussian_star, sinusoidal_star, trended_star
+
+__all__ = ["GwacConfig", "generate_gwac", "load_astroset", "ASTROSET_PRESETS"]
+
+
+@dataclass
+class GwacConfig:
+    """Parameters of the GWAC-like light-curve simulator."""
+
+    name: str = "AstrosetMiddle"
+    num_variates: int = 54
+    train_length: int = 5540
+    test_length: int = 5387
+    cadence_seconds: float = 15.0
+    gap_probability: float = 0.01
+    gap_scale_seconds: float = 300.0
+    num_noise_events: int = 8
+    noise_length_range: tuple[int, int] = (40, 120)
+    num_anomaly_segments: int = 2
+    anomaly_length_range: tuple[int, int] = (15, 60)
+    photometric_noise_range: tuple[float, float] = (0.05, 0.25)
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.num_variates < 2:
+            raise ValueError("need at least 2 variates")
+        if self.cadence_seconds <= 0:
+            raise ValueError("cadence must be positive")
+        if not 0.0 <= self.gap_probability < 1.0:
+            raise ValueError("gap_probability must be in [0, 1)")
+
+
+ASTROSET_PRESETS: dict[str, GwacConfig] = {
+    "AstrosetMiddle": GwacConfig(
+        name="AstrosetMiddle",
+        num_variates=54,
+        train_length=5540,
+        test_length=5387,
+        num_noise_events=10,
+        num_anomaly_segments=2,
+        seed=23,
+    ),
+    "AstrosetHigh": GwacConfig(
+        name="AstrosetHigh",
+        num_variates=38,
+        train_length=8000,
+        test_length=6117,
+        num_noise_events=6,
+        num_anomaly_segments=2,
+        seed=29,
+    ),
+    "AstrosetLow": GwacConfig(
+        name="AstrosetLow",
+        num_variates=40,
+        train_length=6255,
+        test_length=2950,
+        num_noise_events=16,
+        num_anomaly_segments=6,
+        seed=31,
+    ),
+}
+
+_STAR_KINDS = ("constant", "sinusoidal", "eclipsing", "trended")
+_STAR_KIND_WEIGHTS = (0.55, 0.25, 0.1, 0.1)
+
+
+def _irregular_timestamps(length: int, config: GwacConfig, rng: np.random.Generator) -> np.ndarray:
+    """Cumulative observation times with occasional weather gaps."""
+    intervals = np.full(length, config.cadence_seconds)
+    intervals += rng.normal(0.0, config.cadence_seconds * 0.05, size=length)
+    gaps = rng.random(length) < config.gap_probability
+    intervals[gaps] += rng.exponential(config.gap_scale_seconds, size=int(gaps.sum()))
+    return np.cumsum(np.clip(intervals, 1.0, None))
+
+
+def _base_light_curves(config: GwacConfig, rng: np.random.Generator, length: int) -> tuple[np.ndarray, list[str]]:
+    series = np.zeros((length, config.num_variates))
+    kinds: list[str] = []
+    for variate in range(config.num_variates):
+        kind = str(rng.choice(_STAR_KINDS, p=_STAR_KIND_WEIGHTS))
+        noise_std = float(rng.uniform(*config.photometric_noise_range))
+        if kind == "constant":
+            curve = gaussian_star(length, rng, std=noise_std)
+        elif kind == "sinusoidal":
+            curve = sinusoidal_star(length, rng, amplitude=float(rng.uniform(0.5, 2.0)), noise_std=noise_std)
+        elif kind == "eclipsing":
+            curve = eclipsing_binary_star(length, rng, depth=float(rng.uniform(0.5, 1.5)), noise_std=noise_std)
+        else:
+            curve = trended_star(length, rng, noise_std=noise_std)
+        series[:, variate] = curve
+        kinds.append(kind)
+    return series, kinds
+
+
+def _inject_field_noise(
+    series: np.ndarray,
+    noise_mask: np.ndarray,
+    config: GwacConfig,
+    rng: np.random.Generator,
+    num_events: int,
+) -> None:
+    """Inject concurrent noise that touches most or all stars in the field."""
+    length = series.shape[0]
+    all_variates = np.arange(series.shape[1])
+    for _ in range(num_events):
+        event_length = int(rng.integers(*config.noise_length_range))
+        start = int(rng.integers(0, max(length - event_length, 1)))
+        # Cloud passages in a wide-angle field cover most of the frame.
+        fraction = float(rng.uniform(0.7, 1.0))
+        subset = rng.choice(
+            all_variates, size=max(2, int(fraction * len(all_variates))), replace=False
+        )
+        kind = str(rng.choice(["darkening", "brightening", "drift"], p=[0.6, 0.25, 0.15]))
+        inject_concurrent_noise(
+            series, noise_mask, rng, start=start, length=event_length,
+            variates=subset, kind=kind, intensity=float(rng.uniform(0.5, 1.5)),
+        )
+
+
+def _inject_rare_anomalies(
+    series: np.ndarray,
+    labels: np.ndarray,
+    config: GwacConfig,
+    rng: np.random.Generator,
+) -> list:
+    """Inject a small number of flare / transient events into single stars."""
+    injections = []
+    length = series.shape[0]
+    generators = (
+        ("flare", lambda n, a: flare_template(n, amplitude=a)),
+        ("microlensing", lambda n, a: microlensing_template(n, amplitude=a)),
+        ("nova", lambda n, a: nova_template(n, amplitude=a)),
+    )
+    for _ in range(config.num_anomaly_segments):
+        kind, maker = generators[int(rng.integers(0, len(generators)))]
+        segment_length = int(rng.integers(*config.anomaly_length_range))
+        variate = int(rng.integers(0, series.shape[1]))
+        host_spread = max(float(series[:, variate].std()), 0.15)
+        amplitude = float(rng.uniform(3.0, 6.0)) * host_spread
+        template = maker(segment_length, amplitude)
+        start = int(rng.integers(0, max(length - segment_length, 1)))
+        injections.append(inject_anomaly(series, labels, variate, start, template, kind=kind))
+    return injections
+
+
+def generate_gwac(config: GwacConfig) -> AstroDataset:
+    """Generate one GWAC-like dataset according to ``config``."""
+    rng = np.random.default_rng(config.seed)
+    total_length = config.train_length + config.test_length
+
+    series, star_kinds = _base_light_curves(config, rng, total_length)
+    noise_mask = np.zeros_like(series, dtype=np.int64)
+    labels = np.zeros_like(series, dtype=np.int64)
+
+    train_events = max(1, config.num_noise_events // 2)
+    test_events = max(1, config.num_noise_events - train_events)
+    _inject_field_noise(series[: config.train_length], noise_mask[: config.train_length], config, rng, train_events)
+    _inject_field_noise(series[config.train_length:], noise_mask[config.train_length:], config, rng, test_events)
+
+    test_series = series[config.train_length:]
+    test_labels = labels[config.train_length:]
+    injections = _inject_rare_anomalies(test_series, test_labels, config, rng)
+
+    timestamps = _irregular_timestamps(total_length, config, rng)
+
+    return AstroDataset(
+        name=config.name,
+        train=series[: config.train_length],
+        test=test_series,
+        test_labels=test_labels,
+        test_noise_mask=noise_mask[config.train_length:],
+        train_noise_mask=noise_mask[: config.train_length],
+        train_timestamps=timestamps[: config.train_length],
+        test_timestamps=timestamps[config.train_length:],
+        metadata={
+            "star_kinds": star_kinds,
+            "anomaly_injections": [vars(inj) for inj in injections],
+            "config": vars(config).copy(),
+            "source": "GWAC-like simulator (substitution for proprietary Astrosets)",
+        },
+    )
+
+
+def load_astroset(name: str = "AstrosetMiddle", scale: float = 1.0, seed: int | None = None) -> AstroDataset:
+    """Load one of the GWAC-like preset datasets, optionally scaled down."""
+    if name not in ASTROSET_PRESETS:
+        raise KeyError(f"unknown astroset {name!r}; options: {sorted(ASTROSET_PRESETS)}")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    preset = ASTROSET_PRESETS[name]
+    config = GwacConfig(
+        name=preset.name,
+        num_variates=preset.num_variates if scale >= 1.0 else max(8, int(preset.num_variates * min(1.0, scale * 2))),
+        train_length=max(int(preset.train_length * scale), 60),
+        test_length=max(int(preset.test_length * scale), 60),
+        cadence_seconds=preset.cadence_seconds,
+        gap_probability=preset.gap_probability,
+        gap_scale_seconds=preset.gap_scale_seconds,
+        num_noise_events=max(int(round(preset.num_noise_events * max(scale, 0.3))), 2),
+        noise_length_range=preset.noise_length_range,
+        num_anomaly_segments=max(int(round(preset.num_anomaly_segments * max(scale, 0.5))), 2),
+        anomaly_length_range=preset.anomaly_length_range,
+        photometric_noise_range=preset.photometric_noise_range,
+        seed=preset.seed if seed is None else seed,
+    )
+    return generate_gwac(config)

@@ -1,0 +1,124 @@
+"""Concurrent-noise injectors.
+
+Concurrent noise is the defining nuisance of astronomical observations in the
+paper: environmental interference (cloud cover, extreme weather, sunrise)
+causes a random subset of stars to fluctuate *simultaneously* for a period of
+time.  Section IV-A injects three types:
+
+* data drift — the mean level of the affected stars shifts up or down;
+* darkening followed by recovery — cloud occlusion, simulated with half a
+  period of a trigonometric function;
+* brightening — sunrise, simulated with an exponential ramp.
+
+Each injector operates on a subset of variates over a shared time span,
+modifies the series in place and records the affected region in a noise mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "drift_noise",
+    "darkening_noise",
+    "brightening_noise",
+    "NoiseEvent",
+    "inject_concurrent_noise",
+    "NOISE_TYPES",
+]
+
+
+def drift_noise(length: int, magnitude: float = 1.0, direction: int = 1) -> np.ndarray:
+    """Constant mean shift affecting every point in the window."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if direction not in (-1, 1):
+        raise ValueError("direction must be +1 or -1")
+    return np.full(length, direction * magnitude, dtype=np.float64)
+
+
+def darkening_noise(length: int, depth: float = 1.5) -> np.ndarray:
+    """Cloud-occlusion shape: half a period of a sinusoid (dip and recovery)."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    phase = np.linspace(0.0, np.pi, length)
+    return -depth * np.sin(phase)
+
+
+def brightening_noise(length: int, scale: float = 1.5, rate: float = 3.0) -> np.ndarray:
+    """Sunrise shape: exponential increase of the sky background."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    time = np.linspace(0.0, 1.0, length)
+    ramp = np.expm1(rate * time) / np.expm1(rate)
+    return scale * ramp
+
+
+NOISE_TYPES = {
+    "drift": drift_noise,
+    "darkening": darkening_noise,
+    "brightening": brightening_noise,
+}
+
+
+@dataclass
+class NoiseEvent:
+    """Record of one concurrent-noise occurrence."""
+
+    start: int
+    length: int
+    variates: tuple[int, ...]
+    kind: str
+
+    @property
+    def end(self) -> int:
+        return self.start + self.length
+
+
+def inject_concurrent_noise(
+    series: np.ndarray,
+    noise_mask: np.ndarray,
+    rng: np.random.Generator,
+    start: int,
+    length: int,
+    variates: np.ndarray | list[int],
+    kind: str = "darkening",
+    intensity: float | None = None,
+    per_variate_jitter: float = 0.2,
+) -> NoiseEvent:
+    """Inject one concurrent-noise event into ``series`` (in place).
+
+    The same base shape is added to every affected variate, scaled by a small
+    random per-variate factor so the correlated fluctuation is not perfectly
+    identical across stars (as with a real cloud of varying optical depth).
+    """
+    if kind not in NOISE_TYPES:
+        raise ValueError(f"unknown noise kind: {kind!r}; expected one of {sorted(NOISE_TYPES)}")
+    end = start + length
+    if start < 0 or end > series.shape[0]:
+        raise ValueError(
+            f"noise window [{start}, {end}) does not fit a series of length {series.shape[0]}"
+        )
+    variates = np.asarray(list(variates), dtype=np.int64)
+    if variates.size == 0:
+        raise ValueError("at least one variate must be affected")
+    if variates.min() < 0 or variates.max() >= series.shape[1]:
+        raise ValueError("variate index out of range")
+
+    intensity = intensity if intensity is not None else float(rng.uniform(0.4, 1.5))
+    if kind == "drift":
+        direction = int(rng.choice([-1, 1]))
+        base = drift_noise(length, magnitude=intensity, direction=direction)
+    elif kind == "darkening":
+        base = darkening_noise(length, depth=intensity)
+    else:
+        base = brightening_noise(length, scale=intensity)
+
+    for variate in variates:
+        scale = 1.0 + rng.uniform(-per_variate_jitter, per_variate_jitter)
+        series[start:end, variate] += scale * base
+        noise_mask[start:end, variate] = 1
+
+    return NoiseEvent(start=start, length=length, variates=tuple(int(v) for v in variates), kind=kind)

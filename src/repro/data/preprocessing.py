@@ -1,0 +1,115 @@
+"""Preprocessing utilities: per-variate scaling and missing-value handling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MinMaxScaler", "StandardScaler", "fill_missing"]
+
+
+class MinMaxScaler:
+    """Scale each variate to [0, 1] using statistics of the training split.
+
+    AERO's decoder ends with a sigmoid (Eq. 9), so inputs are normalized to
+    the unit interval before training, exactly as reconstruction targets.
+    """
+
+    def __init__(self, feature_range: tuple[float, float] = (0.0, 1.0), eps: float = 1e-8):
+        low, high = feature_range
+        if high <= low:
+            raise ValueError("feature_range must be increasing")
+        self.feature_range = feature_range
+        self.eps = eps
+        self.data_min_: np.ndarray | None = None
+        self.data_max_: np.ndarray | None = None
+
+    def fit(self, series: np.ndarray) -> "MinMaxScaler":
+        series = np.asarray(series, dtype=np.float64)
+        self.data_min_ = series.min(axis=0)
+        self.data_max_ = series.max(axis=0)
+        return self
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        if self.data_min_ is None or self.data_max_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        series = np.asarray(series, dtype=np.float64)
+        low, high = self.feature_range
+        span = np.maximum(self.data_max_ - self.data_min_, self.eps)
+        unit = (series - self.data_min_) / span
+        return low + unit * (high - low)
+
+    def fit_transform(self, series: np.ndarray) -> np.ndarray:
+        return self.fit(series).transform(series)
+
+    def inverse_transform(self, series: np.ndarray) -> np.ndarray:
+        if self.data_min_ is None or self.data_max_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        low, high = self.feature_range
+        span = np.maximum(self.data_max_ - self.data_min_, self.eps)
+        unit = (np.asarray(series, dtype=np.float64) - low) / (high - low)
+        return unit * span + self.data_min_
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaling per variate."""
+
+    def __init__(self, eps: float = 1e-8):
+        self.eps = eps
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, series: np.ndarray) -> "StandardScaler":
+        series = np.asarray(series, dtype=np.float64)
+        self.mean_ = series.mean(axis=0)
+        self.std_ = np.maximum(series.std(axis=0), self.eps)
+        return self
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        return (np.asarray(series, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, series: np.ndarray) -> np.ndarray:
+        return self.fit(series).transform(series)
+
+    def inverse_transform(self, series: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        return np.asarray(series, dtype=np.float64) * self.std_ + self.mean_
+
+
+def fill_missing(series: np.ndarray, method: str = "interpolate") -> np.ndarray:
+    """Replace NaNs in a (time, variates) array.
+
+    ``interpolate`` linearly interpolates inside gaps and extends the nearest
+    valid value at the edges; ``zero`` replaces NaNs with zeros; ``mean``
+    replaces NaNs with the per-variate mean.
+    """
+    series = np.asarray(series, dtype=np.float64).copy()
+    if series.ndim == 1:
+        series = series[:, None]
+        squeeze = True
+    else:
+        squeeze = False
+
+    if method not in {"interpolate", "zero", "mean"}:
+        raise ValueError(f"unknown fill method: {method!r}")
+
+    for variate in range(series.shape[1]):
+        column = series[:, variate]
+        missing = np.isnan(column)
+        if not missing.any():
+            continue
+        if missing.all():
+            column[:] = 0.0
+            continue
+        if method == "zero":
+            column[missing] = 0.0
+        elif method == "mean":
+            column[missing] = column[~missing].mean()
+        else:
+            valid_idx = np.flatnonzero(~missing)
+            column[missing] = np.interp(np.flatnonzero(missing), valid_idx, column[valid_idx])
+        series[:, variate] = column
+
+    return series[:, 0] if squeeze else series

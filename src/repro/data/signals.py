@@ -1,0 +1,99 @@
+"""Base light-curve signals.
+
+Section IV-A of the paper constructs synthetic datasets from two kinds of
+basic signals:
+
+* non-variable stars: Gaussian noise ``X ~ N(0, 0.2^2)``;
+* variable stars: a sinusoid ``f(t, T) = 2 sin(2 pi t / T)`` with period ``T``
+  sampled between 100 and 300 timestamps, plus Gaussian noise.
+
+This module also provides a few extra signal families used by the GWAC-like
+simulator (long-term trends, eclipsing-binary shapes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gaussian_star",
+    "sinusoidal_star",
+    "eclipsing_binary_star",
+    "trended_star",
+    "sample_period",
+]
+
+DEFAULT_NOISE_STD = 0.2
+PERIOD_RANGE = (100, 300)
+
+
+def sample_period(rng: np.random.Generator, low: int = PERIOD_RANGE[0], high: int = PERIOD_RANGE[1]) -> float:
+    """Sample a variability period uniformly from ``[low, high]`` timestamps."""
+    if low <= 0 or high <= low:
+        raise ValueError("period range must satisfy 0 < low < high")
+    return float(rng.uniform(low, high))
+
+
+def gaussian_star(
+    length: int,
+    rng: np.random.Generator,
+    std: float = DEFAULT_NOISE_STD,
+    mean: float = 0.0,
+) -> np.ndarray:
+    """Magnitude series of a non-variable star: i.i.d. Gaussian noise."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    return rng.normal(mean, std, size=length)
+
+
+def sinusoidal_star(
+    length: int,
+    rng: np.random.Generator,
+    period: float | None = None,
+    amplitude: float = 2.0,
+    noise_std: float = DEFAULT_NOISE_STD,
+    phase: float | None = None,
+) -> np.ndarray:
+    """Magnitude series of a variable star: ``amplitude * sin(2 pi t / period)`` plus noise."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    period = period if period is not None else sample_period(rng)
+    phase = phase if phase is not None else float(rng.uniform(0.0, 2.0 * np.pi))
+    positions = np.arange(length, dtype=np.float64)
+    signal = amplitude * np.sin(2.0 * np.pi * positions / period + phase)
+    return signal + rng.normal(0.0, noise_std, size=length)
+
+
+def eclipsing_binary_star(
+    length: int,
+    rng: np.random.Generator,
+    period: float | None = None,
+    depth: float = 1.5,
+    eclipse_fraction: float = 0.1,
+    noise_std: float = DEFAULT_NOISE_STD,
+) -> np.ndarray:
+    """Magnitude series with periodic box-shaped eclipses (brightness dips).
+
+    Used by the GWAC-like simulator to broaden the variety of normal variable
+    behaviour the model must learn.
+    """
+    if not 0.0 < eclipse_fraction < 0.5:
+        raise ValueError("eclipse_fraction must be in (0, 0.5)")
+    period = period if period is not None else sample_period(rng)
+    phase_offset = rng.uniform(0.0, period)
+    positions = np.arange(length, dtype=np.float64)
+    phase = ((positions + phase_offset) % period) / period
+    signal = np.where(phase < eclipse_fraction, -depth, 0.0)
+    return signal + rng.normal(0.0, noise_std, size=length)
+
+
+def trended_star(
+    length: int,
+    rng: np.random.Generator,
+    slope: float | None = None,
+    noise_std: float = DEFAULT_NOISE_STD,
+) -> np.ndarray:
+    """Magnitude series with a slow linear trend (instrumental drift)."""
+    slope = slope if slope is not None else float(rng.uniform(-0.5, 0.5)) / max(length, 1)
+    positions = np.arange(length, dtype=np.float64)
+    return slope * positions + rng.normal(0.0, noise_std, size=length)

@@ -1,0 +1,47 @@
+"""Dataset statistics (Table I) and helpers for summarising collections of datasets."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .dataset import AstroDataset
+
+__all__ = ["dataset_statistics", "statistics_table", "format_statistics_table"]
+
+_COLUMNS = (
+    "dataset",
+    "train",
+    "test",
+    "variates",
+    "anomaly_pct",
+    "noise_pct",
+    "a_n_ratio",
+    "anomaly_segments",
+    "noise_variates",
+)
+
+
+def dataset_statistics(dataset: AstroDataset) -> dict:
+    """Compute the Table I row for one dataset."""
+    return dataset.summary()
+
+
+def statistics_table(datasets: Iterable[AstroDataset]) -> list[dict]:
+    """Compute Table I for a collection of datasets."""
+    return [dataset_statistics(ds) for ds in datasets]
+
+
+def format_statistics_table(rows: Sequence[dict]) -> str:
+    """Render Table I as an aligned plain-text table."""
+    header = (
+        f"{'Dataset':<18}{'#train':>8}{'#test':>8}{'#var':>6}"
+        f"{'Anomaly%':>10}{'Noise%':>9}{'A/N':>8}{'#Seg':>6}{'#NoiseVar':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<18}{row['train']:>8}{row['test']:>8}{row['variates']:>6}"
+            f"{row['anomaly_pct']:>10.3f}{row['noise_pct']:>9.3f}{row['a_n_ratio']:>8.3f}"
+            f"{row['anomaly_segments']:>6}{row['noise_variates']:>11}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Sliding-window utilities (Section III-A, Fig. 3).
+
+The raw series ``T`` of shape ``(CT, N)`` is partitioned into overlapping
+instances ``X_t = {x_{t-W+1}, ..., x_t}`` with a window of length ``W`` and
+stride 1.  AERO additionally uses a *short* window ``Y_t`` of length ``omega``
+covering the last part of each instance (Eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["sliding_windows", "WindowDataset", "WindowBatch"]
+
+
+def sliding_windows(series: np.ndarray, window: int, stride: int = 1) -> np.ndarray:
+    """Return all windows of ``window`` consecutive rows of ``series``.
+
+    Output shape is ``(num_windows, window, N)`` for a 2-D input or
+    ``(num_windows, window)`` for a 1-D input.
+    """
+    series = np.asarray(series)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    length = series.shape[0]
+    if length < window:
+        raise ValueError(f"series of length {length} is shorter than the window {window}")
+    starts = np.arange(0, length - window + 1, stride)
+    return np.stack([series[s:s + window] for s in starts], axis=0)
+
+
+@dataclass
+class WindowBatch:
+    """One training batch: long windows, short windows and their time stamps.
+
+    Shapes follow the paper's notation with the variate axis first:
+
+    * ``long``:  ``(batch, N, W)``
+    * ``short``: ``(batch, N, omega)``
+    * ``long_times`` / ``short_times``: ``(batch, W)`` / ``(batch, omega)``
+    * ``end_indices``: index in the original series of the last timestamp of
+      each window (used to map scores back onto the series).
+    """
+
+    long: np.ndarray
+    short: np.ndarray
+    long_times: np.ndarray
+    short_times: np.ndarray
+    end_indices: np.ndarray
+
+
+class WindowDataset:
+    """Iterates (long window, short window) instances over a series.
+
+    Parameters
+    ----------
+    series:
+        Input array of shape ``(T, N)``.
+    window:
+        Long window length ``W`` (paper default 200).
+    short_window:
+        Short window length ``omega`` (paper default 60); must not exceed ``W``.
+    timestamps:
+        Optional observation times of shape ``(T,)``; defaults to 0..T-1.
+    stride:
+        Step between consecutive window ends.
+    """
+
+    def __init__(
+        self,
+        series: np.ndarray,
+        window: int,
+        short_window: int,
+        timestamps: np.ndarray | None = None,
+        stride: int = 1,
+    ):
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim != 2:
+            raise ValueError("series must be 2-D (time, variates)")
+        if short_window > window:
+            raise ValueError(f"short window ({short_window}) cannot exceed window ({window})")
+        if short_window <= 0:
+            raise ValueError("short window must be positive")
+        if series.shape[0] < window:
+            raise ValueError(
+                f"series length {series.shape[0]} is shorter than the window {window}"
+            )
+        self.series = series
+        self.window = window
+        self.short_window = short_window
+        self.stride = stride
+        self.timestamps = (
+            np.arange(series.shape[0], dtype=np.float64)
+            if timestamps is None
+            else np.asarray(timestamps, dtype=np.float64)
+        )
+        if len(self.timestamps) != series.shape[0]:
+            raise ValueError("timestamps length must match the series")
+        self.end_indices = np.arange(window - 1, series.shape[0], stride)
+
+    def __len__(self) -> int:
+        return len(self.end_indices)
+
+    @property
+    def num_variates(self) -> int:
+        return self.series.shape[1]
+
+    def instance(self, index: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        """Return ``(long, short, long_times, short_times, end_index)`` for one window.
+
+        ``long`` has shape ``(N, W)`` and ``short`` has shape ``(N, omega)``.
+        """
+        end = int(self.end_indices[index])
+        start = end - self.window + 1
+        short_start = end - self.short_window + 1
+        long_window = self.series[start:end + 1].T
+        short = self.series[short_start:end + 1].T
+        return (
+            long_window,
+            short,
+            self.timestamps[start:end + 1],
+            self.timestamps[short_start:end + 1],
+            end,
+        )
+
+    def batches(self, batch_size: int, shuffle: bool = False, rng: np.random.Generator | None = None) -> Iterator[WindowBatch]:
+        """Yield :class:`WindowBatch` objects of up to ``batch_size`` windows."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if shuffle:
+            rng = rng or np.random.default_rng(0)
+            order = rng.permutation(order)
+        for chunk_start in range(0, len(order), batch_size):
+            chunk = order[chunk_start:chunk_start + batch_size]
+            longs, shorts, long_times, short_times, ends = [], [], [], [], []
+            for index in chunk:
+                long_window, short, lt, st, end = self.instance(int(index))
+                longs.append(long_window)
+                shorts.append(short)
+                long_times.append(lt)
+                short_times.append(st)
+                ends.append(end)
+            yield WindowBatch(
+                long=np.stack(longs),
+                short=np.stack(shorts),
+                long_times=np.stack(long_times),
+                short_times=np.stack(short_times),
+                end_indices=np.asarray(ends),
+            )

@@ -1,0 +1,74 @@
+"""Precision, recall and F1-score (Section IV-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ConfusionCounts", "confusion_counts", "precision_recall_f1", "EvaluationResult"]
+
+
+@dataclass
+class ConfusionCounts:
+    """Binary confusion-matrix counts."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+
+@dataclass
+class EvaluationResult:
+    """Evaluation triple reported in Tables II-IV (values in [0, 1])."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def as_percentages(self) -> dict[str, float]:
+        return {
+            "precision": 100.0 * self.precision,
+            "recall": 100.0 * self.recall,
+            "f1": 100.0 * self.f1,
+        }
+
+
+def confusion_counts(predictions: np.ndarray, labels: np.ndarray) -> ConfusionCounts:
+    """Count TP/FP/TN/FN between binary ``predictions`` and ``labels``."""
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"predictions and labels must have the same shape: {predictions.shape} != {labels.shape}"
+        )
+    return ConfusionCounts(
+        true_positives=int((predictions & labels).sum()),
+        false_positives=int((predictions & ~labels).sum()),
+        true_negatives=int((~predictions & ~labels).sum()),
+        false_negatives=int((~predictions & labels).sum()),
+    )
+
+
+def precision_recall_f1(predictions: np.ndarray, labels: np.ndarray) -> EvaluationResult:
+    """Compute precision, recall and F1 between binary arrays of equal shape."""
+    counts = confusion_counts(predictions, labels)
+    return EvaluationResult(precision=counts.precision, recall=counts.recall, f1=counts.f1)

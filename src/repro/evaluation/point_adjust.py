@@ -1,0 +1,60 @@
+"""Point-adjust strategy (Xu et al. 2018; used by the paper in Section IV-C).
+
+Alarms in astronomical monitoring are acted upon at the segment level: if any
+point inside a contiguous ground-truth anomaly segment is detected, the whole
+segment counts as detected.  The point-adjust strategy therefore expands a
+prediction that hits a segment to cover the entire segment before computing
+precision/recall/F1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["adjust_predictions", "anomaly_segments"]
+
+
+def anomaly_segments(labels: np.ndarray) -> list[tuple[int, int]]:
+    """Return ``(start, end)`` pairs (half-open) of contiguous 1-runs in a 1-D label array."""
+    labels = np.asarray(labels).astype(bool)
+    if labels.ndim != 1:
+        raise ValueError("labels must be 1-D")
+    segments: list[tuple[int, int]] = []
+    start = None
+    for index, flag in enumerate(labels):
+        if flag and start is None:
+            start = index
+        elif not flag and start is not None:
+            segments.append((start, index))
+            start = None
+    if start is not None:
+        segments.append((start, len(labels)))
+    return segments
+
+
+def _adjust_single(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    adjusted = predictions.astype(bool).copy()
+    for start, end in anomaly_segments(labels):
+        if adjusted[start:end].any():
+            adjusted[start:end] = True
+    return adjusted
+
+
+def adjust_predictions(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Apply point adjustment to ``predictions`` given ground-truth ``labels``.
+
+    Both arrays may be 1-D (single variate) or 2-D ``(time, variates)``;
+    adjustment is performed independently per variate.
+    """
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.ndim == 1:
+        return _adjust_single(predictions, labels)
+    if predictions.ndim != 2:
+        raise ValueError("only 1-D or 2-D inputs are supported")
+    adjusted = np.empty_like(predictions)
+    for variate in range(predictions.shape[1]):
+        adjusted[:, variate] = _adjust_single(predictions[:, variate], labels[:, variate])
+    return adjusted

@@ -1,0 +1,62 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .profiles import ExperimentProfile, get_profile, PROFILES
+from .datasets import SYNTHETIC_DATASETS, REAL_DATASETS, ALL_DATASETS, load_dataset
+from .formatting import format_performance_table, format_ablation_table, format_series
+from .overall import (
+    ALL_METHODS,
+    build_method,
+    run_method_on_dataset,
+    run_overall_comparison,
+    run_table2,
+    run_table3,
+)
+from .ablation import ABLATION_DATASETS, run_variant_on_dataset, run_ablation, run_table4
+from .efficiency import measure_method_efficiency, run_fig6
+from .scalability import SCALABILITY_METHODS, measure_scalability_point, run_fig7
+from .graph_analysis import learned_graphs_at, graph_agreement, run_fig8
+from .error_analysis import stagewise_scores, run_fig9
+from .sensitivity import sweep_parameter, run_fig10, DEFAULT_SWEEPS
+from .templates import run_fig5, run_table1
+from .registry import Experiment, EXPERIMENTS, get_experiment
+
+__all__ = [
+    "ExperimentProfile",
+    "get_profile",
+    "PROFILES",
+    "SYNTHETIC_DATASETS",
+    "REAL_DATASETS",
+    "ALL_DATASETS",
+    "load_dataset",
+    "format_performance_table",
+    "format_ablation_table",
+    "format_series",
+    "ALL_METHODS",
+    "build_method",
+    "run_method_on_dataset",
+    "run_overall_comparison",
+    "run_table2",
+    "run_table3",
+    "ABLATION_DATASETS",
+    "run_variant_on_dataset",
+    "run_ablation",
+    "run_table4",
+    "measure_method_efficiency",
+    "run_fig6",
+    "SCALABILITY_METHODS",
+    "measure_scalability_point",
+    "run_fig7",
+    "learned_graphs_at",
+    "graph_agreement",
+    "run_fig8",
+    "stagewise_scores",
+    "run_fig9",
+    "sweep_parameter",
+    "run_fig10",
+    "DEFAULT_SWEEPS",
+    "run_fig5",
+    "run_table1",
+    "Experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+]

@@ -1,0 +1,67 @@
+"""Ablation study (Table IV, RQ2): AERO and its seven variants.
+
+The variants remove or replace individual components (temporal module,
+univariate input, short window, noise module, window-wise graph) to quantify
+each component's contribution; see :mod:`repro.core.variants`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core import ABLATION_VARIANTS, VARIANT_LABELS, build_variant
+from ..data import AstroDataset
+from .datasets import load_dataset
+from .formatting import format_ablation_table
+from .profiles import ExperimentProfile, get_profile
+
+__all__ = ["ABLATION_DATASETS", "run_variant_on_dataset", "run_ablation", "run_table4"]
+
+#: The three datasets used for Table IV in the paper.
+ABLATION_DATASETS = ("SyntheticMiddle", "AstrosetMiddle", "AstrosetLow")
+
+
+def run_variant_on_dataset(variant: str, dataset: AstroDataset, profile: ExperimentProfile) -> dict:
+    """Train and evaluate one ablation variant on one dataset."""
+    detector = build_variant(variant, config=profile.aero_config())
+    detector.fit(dataset.train, dataset.train_timestamps)
+    report = detector.evaluate(dataset.test, dataset.test_labels, dataset.test_timestamps)
+    return {
+        "variant": VARIANT_LABELS[variant],
+        "variant_id": variant,
+        "dataset": dataset.name,
+        "precision": report.outcome.result.precision,
+        "recall": report.outcome.result.recall,
+        "f1": report.outcome.result.f1,
+    }
+
+
+def run_ablation(
+    dataset_names: Sequence[str] | None = None,
+    variants: Sequence[str] | None = None,
+    profile: ExperimentProfile | None = None,
+) -> list[dict]:
+    """Run the variant x dataset grid of Table IV."""
+    profile = profile or get_profile()
+    dataset_names = tuple(dataset_names) if dataset_names is not None else ABLATION_DATASETS
+    variants = tuple(variants) if variants is not None else tuple(ABLATION_VARIANTS)
+    unknown = set(variants) - set(ABLATION_VARIANTS)
+    if unknown:
+        raise KeyError(f"unknown variants: {sorted(unknown)}")
+    rows = []
+    for dataset_name in dataset_names:
+        dataset = load_dataset(dataset_name, profile)
+        for variant in variants:
+            rows.append(run_variant_on_dataset(variant, dataset, profile))
+    return rows
+
+
+def run_table4(
+    dataset_names: Sequence[str] | None = None,
+    variants: Sequence[str] | None = None,
+    profile: ExperimentProfile | None = None,
+) -> tuple[list[dict], str]:
+    """Table IV: ablation results plus their plain-text rendering."""
+    dataset_names = tuple(dataset_names) if dataset_names is not None else ABLATION_DATASETS
+    rows = run_ablation(dataset_names, variants, profile)
+    return rows, format_ablation_table(rows, dataset_names)

@@ -1,0 +1,21 @@
+"""Dataset loading shared by the experiment runners."""
+
+from __future__ import annotations
+
+from ..data import AstroDataset, load_astroset, load_synthetic
+from .profiles import ExperimentProfile
+
+__all__ = ["SYNTHETIC_DATASETS", "REAL_DATASETS", "ALL_DATASETS", "load_dataset"]
+
+SYNTHETIC_DATASETS = ("SyntheticMiddle", "SyntheticHigh", "SyntheticLow")
+REAL_DATASETS = ("AstrosetMiddle", "AstrosetHigh", "AstrosetLow")
+ALL_DATASETS = SYNTHETIC_DATASETS + REAL_DATASETS
+
+
+def load_dataset(name: str, profile: ExperimentProfile) -> AstroDataset:
+    """Load any of the six evaluation datasets at the profile's scale."""
+    if name in SYNTHETIC_DATASETS:
+        return load_synthetic(name, scale=profile.dataset_scale)
+    if name in REAL_DATASETS:
+        return load_astroset(name, scale=profile.dataset_scale)
+    raise KeyError(f"unknown dataset {name!r}; options: {ALL_DATASETS}")

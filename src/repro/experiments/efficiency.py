@@ -1,0 +1,60 @@
+"""Model efficiency (Fig. 6, RQ3): training time per epoch and inference time.
+
+The paper reports wall-clock seconds per training epoch and total inference
+time on SyntheticMiddle for every trainable method (SR has no training phase
+and appears only in the inference plot).  The substrate here is CPU numpy, so
+absolute numbers differ from the paper's GPU measurements; the comparison of
+methods against each other is what the figure conveys.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from .datasets import load_dataset
+from .overall import ALL_METHODS, build_method
+from .profiles import ExperimentProfile, get_profile
+
+__all__ = ["measure_method_efficiency", "run_fig6"]
+
+
+def measure_method_efficiency(method_name: str, dataset_name: str, profile: ExperimentProfile) -> dict:
+    """Measure training time per epoch and inference time of one method."""
+    dataset = load_dataset(dataset_name, profile)
+    method = build_method(method_name, profile)
+
+    start = time.perf_counter()
+    method.fit(dataset.train, dataset.train_timestamps)
+    train_seconds = time.perf_counter() - start
+
+    # Per-epoch time: divide by the number of epochs actually run.
+    if method_name == "AERO":
+        history = method.history
+        epochs = max(history.stage1_epochs + history.stage2_epochs, 1) if history else 1
+    else:
+        epochs = max(len(getattr(method, "training_losses_", []) or [1]), 1)
+    train_per_epoch = train_seconds / epochs
+
+    start = time.perf_counter()
+    method.score(dataset.test, dataset.test_timestamps)
+    inference_seconds = time.perf_counter() - start
+
+    return {
+        "method": method_name,
+        "dataset": dataset_name,
+        "train_seconds_total": train_seconds,
+        "train_seconds_per_epoch": train_per_epoch,
+        "inference_seconds": inference_seconds,
+    }
+
+
+def run_fig6(
+    methods: Sequence[str] | None = None,
+    dataset_name: str = "SyntheticMiddle",
+    profile: ExperimentProfile | None = None,
+) -> list[dict]:
+    """Fig. 6: efficiency of all methods on SyntheticMiddle."""
+    profile = profile or get_profile()
+    methods = tuple(methods) if methods is not None else ALL_METHODS
+    return [measure_method_efficiency(name, dataset_name, profile) for name in methods]

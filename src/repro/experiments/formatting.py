@@ -1,0 +1,55 @@
+"""Plain-text rendering of result tables (the rows the paper reports)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_performance_table", "format_ablation_table", "format_series"]
+
+
+def format_performance_table(rows: Sequence[dict], datasets: Sequence[str]) -> str:
+    """Render Table II / Table III style output.
+
+    ``rows`` contain ``method``, ``dataset``, ``precision``, ``recall``, ``f1``
+    (fractions in [0, 1]); one output line per method with P/R/F1 columns per
+    dataset, percentages as in the paper.
+    """
+    methods: list[str] = []
+    for row in rows:
+        if row["method"] not in methods:
+            methods.append(row["method"])
+    by_key = {(row["method"], row["dataset"]): row for row in rows}
+
+    header = f"{'Method':<20}"
+    for dataset in datasets:
+        header += f"{dataset:^24}"
+    sub_header = f"{'':<20}" + f"{'Prec':>8}{'Recall':>8}{'F1':>8}" * len(datasets)
+    lines = [header, sub_header, "-" * len(sub_header)]
+    for method in methods:
+        line = f"{method:<20}"
+        for dataset in datasets:
+            row = by_key.get((method, dataset))
+            if row is None:
+                line += f"{'-':>8}{'-':>8}{'-':>8}"
+            else:
+                line += (
+                    f"{100 * row['precision']:>8.2f}"
+                    f"{100 * row['recall']:>8.2f}"
+                    f"{100 * row['f1']:>8.2f}"
+                )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def format_ablation_table(rows: Sequence[dict], datasets: Sequence[str]) -> str:
+    """Render Table IV (same layout as the performance table, variant rows)."""
+    renamed = [dict(row, method=row.get("variant", row.get("method", "?"))) for row in rows]
+    return format_performance_table(renamed, datasets)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x", y_label: str = "y") -> str:
+    """Render a figure series as aligned columns (one line per point)."""
+    lines = [f"{name}", f"{x_label:>12}{y_label:>16}", "-" * 28]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x:>12}{y:>16.4f}")
+    return "\n".join(lines)

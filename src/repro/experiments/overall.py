@@ -1,0 +1,83 @@
+"""Overall performance comparison (Tables II and III, RQ1).
+
+Every method — the eleven baselines plus AERO — is trained on the unlabeled
+training split of each dataset and evaluated on the test split with the shared
+POT + point-adjust protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..baselines import BASELINE_REGISTRY, get_baseline
+from ..core import AeroDetector
+from ..data import AstroDataset
+from .datasets import REAL_DATASETS, SYNTHETIC_DATASETS, load_dataset
+from .formatting import format_performance_table
+from .profiles import ExperimentProfile, get_profile
+
+__all__ = [
+    "ALL_METHODS",
+    "run_method_on_dataset",
+    "run_overall_comparison",
+    "run_table2",
+    "run_table3",
+]
+
+#: Methods in the row order of Tables II / III.
+ALL_METHODS = tuple(BASELINE_REGISTRY) + ("AERO",)
+
+
+def build_method(name: str, profile: ExperimentProfile):
+    """Instantiate a method (baseline or AERO) under the given profile."""
+    if name == "AERO":
+        return AeroDetector(profile.aero_config())
+    return get_baseline(name, **profile.baseline_kwargs(name))
+
+
+def run_method_on_dataset(method_name: str, dataset: AstroDataset, profile: ExperimentProfile) -> dict:
+    """Train and evaluate one method on one dataset; return a result row."""
+    method = build_method(method_name, profile)
+    method.fit(dataset.train, dataset.train_timestamps)
+    if isinstance(method, AeroDetector):
+        outcome = method.evaluate(dataset.test, dataset.test_labels, dataset.test_timestamps).outcome
+    else:
+        outcome = method.evaluate(dataset.test, dataset.test_labels, dataset.test_timestamps)
+    return {
+        "method": method_name,
+        "dataset": dataset.name,
+        "precision": outcome.result.precision,
+        "recall": outcome.result.recall,
+        "f1": outcome.result.f1,
+    }
+
+
+def run_overall_comparison(
+    dataset_names: Sequence[str],
+    methods: Sequence[str] | None = None,
+    profile: ExperimentProfile | None = None,
+) -> list[dict]:
+    """Run the full method x dataset grid and return one row per pair."""
+    profile = profile or get_profile()
+    methods = tuple(methods) if methods is not None else ALL_METHODS
+    unknown = set(methods) - set(ALL_METHODS)
+    if unknown:
+        raise KeyError(f"unknown methods: {sorted(unknown)}")
+    rows = []
+    for dataset_name in dataset_names:
+        dataset = load_dataset(dataset_name, profile)
+        for method_name in methods:
+            rows.append(run_method_on_dataset(method_name, dataset, profile))
+    return rows
+
+
+def run_table2(methods: Sequence[str] | None = None, profile: ExperimentProfile | None = None) -> tuple[list[dict], str]:
+    """Table II: overall performance on the three synthetic datasets."""
+    rows = run_overall_comparison(SYNTHETIC_DATASETS, methods, profile)
+    return rows, format_performance_table(rows, SYNTHETIC_DATASETS)
+
+
+def run_table3(methods: Sequence[str] | None = None, profile: ExperimentProfile | None = None) -> tuple[list[dict], str]:
+    """Table III: overall performance on the three GWAC-like real-world datasets."""
+    rows = run_overall_comparison(REAL_DATASETS, methods, profile)
+    return rows, format_performance_table(rows, REAL_DATASETS)

@@ -1,0 +1,111 @@
+"""Experiment profiles: how much compute to spend when regenerating results.
+
+The paper's experiments train GPU models on series of 4 000-8 000 points with
+dozens of variates; the pure-numpy substrate used here is orders of magnitude
+slower, so every experiment runner accepts a profile that scales the dataset
+length and the training budget:
+
+* ``tiny``  — seconds per method; used by unit tests.
+* ``fast``  — the default for ``pytest benchmarks/``; a few minutes end to end.
+* ``full``  — paper-scale data and training budgets (hours on CPU); selected
+  by setting the environment variable ``REPRO_PROFILE=full``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core import AeroConfig
+
+__all__ = ["ExperimentProfile", "get_profile", "PROFILES"]
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scaling knobs shared by all experiment runners."""
+
+    name: str
+    dataset_scale: float          # multiplier on train/test lengths
+    neural_epochs: int            # epochs for the neural baselines
+    neural_stride: int            # training-window stride for the baselines
+    aero_window: int              # AERO long window W
+    aero_short_window: int        # AERO short window omega
+    aero_epochs_stage1: int
+    aero_epochs_stage2: int
+    aero_learning_rate: float
+    aero_train_stride: int
+    aero_d_model: int
+
+    def aero_config(self, **overrides) -> AeroConfig:
+        """Build the AERO configuration corresponding to this profile."""
+        config = AeroConfig(
+            window=self.aero_window,
+            short_window=self.aero_short_window,
+            d_model=self.aero_d_model,
+            num_heads=4 if self.aero_d_model % 4 == 0 else 2,
+            train_stride=self.aero_train_stride,
+            learning_rate=self.aero_learning_rate,
+            max_epochs_stage1=self.aero_epochs_stage1,
+            max_epochs_stage2=self.aero_epochs_stage2,
+            patience=5,
+            batch_size=16,
+        )
+        return config.scaled(**overrides) if overrides else config
+
+    def baseline_kwargs(self, name: str) -> dict:
+        """Constructor keyword arguments for a baseline under this profile."""
+        if name in ("TM", "SR", "SPOT", "FluxEV"):
+            return {}
+        return {"epochs": self.neural_epochs, "train_stride": self.neural_stride}
+
+
+PROFILES: dict[str, ExperimentProfile] = {
+    "tiny": ExperimentProfile(
+        name="tiny",
+        dataset_scale=0.05,
+        neural_epochs=2,
+        neural_stride=6,
+        aero_window=30,
+        aero_short_window=10,
+        aero_epochs_stage1=14,
+        aero_epochs_stage2=8,
+        aero_learning_rate=5e-3,
+        aero_train_stride=4,
+        aero_d_model=16,
+    ),
+    "fast": ExperimentProfile(
+        name="fast",
+        dataset_scale=0.08,
+        neural_epochs=3,
+        neural_stride=4,
+        aero_window=40,
+        aero_short_window=12,
+        aero_epochs_stage1=20,
+        aero_epochs_stage2=10,
+        aero_learning_rate=5e-3,
+        aero_train_stride=4,
+        aero_d_model=16,
+    ),
+    "full": ExperimentProfile(
+        name="full",
+        dataset_scale=1.0,
+        neural_epochs=10,
+        neural_stride=1,
+        aero_window=200,
+        aero_short_window=60,
+        aero_epochs_stage1=100,
+        aero_epochs_stage2=100,
+        aero_learning_rate=1e-3,
+        aero_train_stride=1,
+        aero_d_model=64,
+    ),
+}
+
+
+def get_profile(name: str | None = None) -> ExperimentProfile:
+    """Resolve a profile by name, falling back to ``REPRO_PROFILE`` or ``fast``."""
+    resolved = name or os.environ.get("REPRO_PROFILE", "fast")
+    if resolved not in PROFILES:
+        raise KeyError(f"unknown profile {resolved!r}; options: {sorted(PROFILES)}")
+    return PROFILES[resolved]

@@ -1,0 +1,48 @@
+"""Registry mapping paper artifacts (tables / figures) to experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .ablation import run_table4
+from .efficiency import run_fig6
+from .error_analysis import run_fig9
+from .graph_analysis import run_fig8
+from .overall import run_table2, run_table3
+from .scalability import run_fig7
+from .sensitivity import run_fig10
+from .templates import run_fig5, run_table1
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible paper artifact."""
+
+    identifier: str
+    paper_artifact: str
+    description: str
+    runner: Callable
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    "table1": Experiment("table1", "Table I", "Dataset statistics for the six evaluation datasets", run_table1),
+    "table2": Experiment("table2", "Table II", "Overall performance on the synthetic datasets", run_table2),
+    "table3": Experiment("table3", "Table III", "Overall performance on the GWAC-like real-world datasets", run_table3),
+    "table4": Experiment("table4", "Table IV", "Ablation study of AERO's components", run_table4),
+    "fig5": Experiment("fig5", "Fig. 5", "Examples of injected true anomalies", run_fig5),
+    "fig6": Experiment("fig6", "Fig. 6", "Training and inference time of all methods", run_fig6),
+    "fig7": Experiment("fig7", "Fig. 7", "Memory and inference time versus the number of stars", run_fig7),
+    "fig8": Experiment("fig8", "Fig. 8", "Learned window-wise graphs versus ground-truth noise", run_fig8),
+    "fig9": Experiment("fig9", "Fig. 9", "Stage-wise reconstruction-error decomposition", run_fig9),
+    "fig10": Experiment("fig10", "Fig. 10", "Hyperparameter sensitivity of AERO", run_fig10),
+}
+
+
+def get_experiment(identifier: str) -> Experiment:
+    """Look up an experiment by id (e.g. ``"table2"`` or ``"fig8"``)."""
+    if identifier not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {identifier!r}; options: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[identifier]

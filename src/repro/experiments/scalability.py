@@ -1,0 +1,83 @@
+"""Scalability with the number of stars (Fig. 7, RQ3).
+
+The paper sweeps the number of variates from 24 to 960 and reports GPU memory
+usage and inference time.  On this CPU substrate we report
+
+* ``memory_mb`` — peak Python memory allocated during inference, measured with
+  :mod:`tracemalloc` (the analogue of the paper's GPU memory curve), and
+* ``inference_seconds`` — wall-clock time to score the test split.
+
+The expected shape is the paper's: both grow roughly linearly with the number
+of stars, with graph-based methods (ESG, AERO) costlier than purely temporal
+ones because they build per-window correlation structures.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import Sequence
+
+from ..data import SyntheticConfig, generate_synthetic
+from .overall import build_method
+from .profiles import ExperimentProfile, get_profile
+
+__all__ = ["SCALABILITY_METHODS", "measure_scalability_point", "run_fig7"]
+
+#: Methods shown in Fig. 7 of the paper.
+SCALABILITY_METHODS = ("AERO", "AnomalyTransformer", "TranAD", "GDN", "ESG", "TimesNet", "SR")
+
+
+def _scalability_dataset(num_stars: int, profile: ExperimentProfile):
+    """A synthetic dataset with the requested number of stars."""
+    length = max(int(400 * profile.dataset_scale / 0.08), 80)
+    config = SyntheticConfig(
+        name=f"Scalability{num_stars}",
+        num_variates=num_stars,
+        train_length=length,
+        test_length=length,
+        num_noise_events=4,
+        num_anomaly_segments=2,
+        seed=97,
+    )
+    return generate_synthetic(config)
+
+
+def measure_scalability_point(method_name: str, num_stars: int, profile: ExperimentProfile) -> dict:
+    """Measure memory and inference time of one method for one star count."""
+    dataset = _scalability_dataset(num_stars, profile)
+    method = build_method(method_name, profile)
+    method.fit(dataset.train, dataset.train_timestamps)
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    method.score(dataset.test, dataset.test_timestamps)
+    inference_seconds = time.perf_counter() - start
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    return {
+        "method": method_name,
+        "num_stars": num_stars,
+        "memory_mb": peak_bytes / (1024.0 * 1024.0),
+        "inference_seconds": inference_seconds,
+    }
+
+
+def run_fig7(
+    star_counts: Sequence[int] = (24, 48, 96),
+    methods: Sequence[str] | None = None,
+    profile: ExperimentProfile | None = None,
+) -> list[dict]:
+    """Fig. 7: memory usage and inference time versus the number of stars.
+
+    The paper sweeps 24..960 stars; the default here uses a smaller sweep so
+    the benchmark completes on CPU, and the ``full`` profile extends it.
+    """
+    profile = profile or get_profile()
+    methods = tuple(methods) if methods is not None else SCALABILITY_METHODS
+    rows = []
+    for num_stars in star_counts:
+        for method_name in methods:
+            rows.append(measure_scalability_point(method_name, num_stars, profile))
+    return rows

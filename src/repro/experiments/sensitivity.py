@@ -1,0 +1,86 @@
+"""Parameter sensitivity analysis (Fig. 10, RQ5).
+
+The paper sweeps four hyperparameters of AERO — the short window size, the
+number of attention heads, the number of encoder layers and the long window
+size — and reports the F1-score (plus train/test time for the short-window
+sweep).  ``run_fig10`` reproduces those sweeps for a chosen dataset.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..core import AeroDetector
+from .datasets import load_dataset
+from .profiles import ExperimentProfile, get_profile
+
+__all__ = ["sweep_parameter", "run_fig10", "DEFAULT_SWEEPS"]
+
+#: Parameter grids from Fig. 10 (scaled-down defaults; the paper's grids are in comments).
+DEFAULT_SWEEPS: dict[str, tuple] = {
+    # paper: short window in {20, 40, 60, 80, 100}
+    "short_window": (8, 12, 16),
+    # paper: heads in {1, 2, 4, 8}
+    "num_heads": (1, 2, 4),
+    # paper: encoder layers in {1, 2, 3, 4}
+    "num_encoder_layers": (1, 2),
+    # paper: long window in {100, 150, 200, 250, 300}
+    "window": (30, 40, 50),
+}
+
+
+def sweep_parameter(
+    parameter: str,
+    values: Sequence,
+    dataset_name: str = "SyntheticMiddle",
+    profile: ExperimentProfile | None = None,
+) -> list[dict]:
+    """Train/evaluate AERO for each value of one hyperparameter."""
+    profile = profile or get_profile()
+    dataset = load_dataset(dataset_name, profile)
+    rows = []
+    for value in values:
+        overrides = {parameter: value}
+        if parameter == "window":
+            # Keep the short window strictly inside the long window.
+            overrides["short_window"] = min(profile.aero_short_window, max(int(value) // 3, 2))
+        if parameter == "num_heads":
+            # d_model must stay divisible by the head count.
+            base = profile.aero_d_model
+            overrides["d_model"] = base if base % int(value) == 0 else int(value) * max(base // int(value), 1)
+        config = profile.aero_config(**overrides)
+        detector = AeroDetector(config)
+
+        start = time.perf_counter()
+        detector.fit(dataset.train, dataset.train_timestamps)
+        train_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        report = detector.evaluate(dataset.test, dataset.test_labels, dataset.test_timestamps)
+        test_seconds = time.perf_counter() - start
+
+        epochs = max(report.history.stage1_epochs + report.history.stage2_epochs, 1)
+        rows.append({
+            "parameter": parameter,
+            "value": value,
+            "dataset": dataset_name,
+            "precision": report.outcome.result.precision,
+            "recall": report.outcome.result.recall,
+            "f1": report.outcome.result.f1,
+            "train_seconds_per_epoch": train_seconds / epochs,
+            "test_seconds": test_seconds,
+        })
+    return rows
+
+
+def run_fig10(
+    dataset_name: str = "SyntheticMiddle",
+    sweeps: dict[str, tuple] | None = None,
+    profile: ExperimentProfile | None = None,
+) -> dict[str, list[dict]]:
+    """Fig. 10: all four hyperparameter sweeps."""
+    sweeps = sweeps or DEFAULT_SWEEPS
+    return {
+        parameter: sweep_parameter(parameter, values, dataset_name, profile)
+        for parameter, values in sweeps.items()
+    }

@@ -1,0 +1,30 @@
+"""Injected anomaly examples (Fig. 5) and dataset statistics (Table I)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import ANOMALY_TYPES, statistics_table, format_statistics_table
+from .datasets import ALL_DATASETS, load_dataset
+from .profiles import ExperimentProfile, get_profile
+
+__all__ = ["run_fig5", "run_table1"]
+
+
+def run_fig5(length: int = 60, amplitude: float = 2.5) -> dict[str, np.ndarray]:
+    """Fig. 5: one example curve per injected true-anomaly template."""
+    curves = {}
+    for name, maker in ANOMALY_TYPES.items():
+        if name == "eclipse":
+            curves[name] = maker(length, depth=amplitude)
+        else:
+            curves[name] = maker(length, amplitude=amplitude)
+    return curves
+
+
+def run_table1(profile: ExperimentProfile | None = None) -> tuple[list[dict], str]:
+    """Table I: statistics of the six evaluation datasets."""
+    profile = profile or get_profile()
+    datasets = [load_dataset(name, profile) for name in ALL_DATASETS]
+    rows = statistics_table(datasets)
+    return rows, format_statistics_table(rows)

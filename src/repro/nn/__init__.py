@@ -1,0 +1,81 @@
+"""A compact numpy-based deep-learning framework.
+
+This package is the substrate substitution for PyTorch described in
+``DESIGN.md``: reverse-mode autodiff (:class:`Tensor`), module system,
+layers (linear, layer norm, dropout, attention, transformer blocks, GRU/LSTM,
+graph convolutions, 1-D/2-D convolutions), optimizers and losses.
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled
+from .module import Module, Parameter
+from .layers import (
+    Linear,
+    LayerNorm,
+    Dropout,
+    ReLU,
+    GELU,
+    Tanh,
+    Sigmoid,
+    Sequential,
+    FeedForward,
+    Embedding,
+)
+from .attention import MultiHeadAttention, scaled_dot_product_attention
+from .transformer import (
+    TransformerEncoder,
+    TransformerDecoder,
+    TransformerEncoderLayer,
+    TransformerDecoderLayer,
+)
+from .recurrent import GRU, GRUCell, LSTM, LSTMCell
+from .graph import GCNLayer, GraphAttentionLayer, normalize_adjacency
+from .conv import Conv1d, Conv2d
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .losses import mse_loss, mae_loss, huber_loss, gaussian_nll, kl_divergence_normal
+from .serialization import save_module, load_module
+from . import init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "ReLU",
+    "GELU",
+    "Tanh",
+    "Sigmoid",
+    "Sequential",
+    "FeedForward",
+    "Embedding",
+    "MultiHeadAttention",
+    "scaled_dot_product_attention",
+    "TransformerEncoder",
+    "TransformerDecoder",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "GRU",
+    "GRUCell",
+    "LSTM",
+    "LSTMCell",
+    "GCNLayer",
+    "GraphAttentionLayer",
+    "normalize_adjacency",
+    "Conv1d",
+    "Conv2d",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "gaussian_nll",
+    "kl_divergence_normal",
+    "save_module",
+    "load_module",
+    "init",
+]

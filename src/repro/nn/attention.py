@@ -1,0 +1,100 @@
+"""Scaled dot-product and multi-head attention (Eq. 5-6 in the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["scaled_dot_product_attention", "MultiHeadAttention"]
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: np.ndarray | None = None,
+    return_weights: bool = False,
+):
+    """Compute ``softmax(Q K^T / sqrt(d)) V``.
+
+    Parameters
+    ----------
+    query, key, value:
+        Tensors of shape ``(..., length, d)``; the leading axes must be
+        broadcast compatible.
+    mask:
+        Optional boolean array broadcastable to the attention score shape;
+        positions where the mask is ``True`` are excluded from attention.
+    return_weights:
+        If ``True``, also return the attention weight tensor.
+    """
+    d_k = query.shape[-1]
+    scores = (query @ key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d_k))
+    if mask is not None:
+        penalty = np.where(np.asarray(mask, dtype=bool), -1e9, 0.0)
+        scores = scores + Tensor(penalty)
+    weights = scores.softmax(axis=-1)
+    output = weights @ value
+    if return_weights:
+        return output, weights
+    return output
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with separate projection matrices per head.
+
+    Follows the standard Transformer formulation used by the paper's temporal
+    reconstruction module (Eq. 6): the input embeddings are projected into
+    ``num_heads`` sets of queries/keys/values, attended independently, then
+    concatenated and mixed by an output projection.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError(
+                f"d_model ({d_model}) must be divisible by num_heads ({num_heads})"
+            )
+        rng = rng or np.random.default_rng(0)
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.w_query = Linear(d_model, d_model, rng=rng)
+        self.w_key = Linear(d_model, d_model, rng=rng)
+        self.w_value = Linear(d_model, d_model, rng=rng)
+        self.w_out = Linear(d_model, d_model, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+        self.last_attention: np.ndarray | None = None
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        """Reshape ``(batch, length, d_model)`` to ``(batch, heads, length, d_head)``."""
+        batch, length, _ = x.shape
+        return x.reshape(batch, length, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, length, d_head = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, heads * d_head)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        q = self._split_heads(self.w_query(query))
+        k = self._split_heads(self.w_key(key))
+        v = self._split_heads(self.w_value(value))
+        attended, weights = scaled_dot_product_attention(q, k, v, mask=mask, return_weights=True)
+        self.last_attention = weights.data
+        merged = self._merge_heads(attended)
+        return self.dropout(self.w_out(merged))

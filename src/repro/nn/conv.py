@@ -1,0 +1,109 @@
+"""1-D and 2-D convolution layers (used by the TimesNet baseline).
+
+The implementation lowers convolution to matrix multiplication (im2col) so
+gradients flow through the standard autodiff ops without any bespoke backward
+code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["Conv1d", "Conv2d"]
+
+
+class Conv1d(Module):
+    """1-D convolution over the last axis with "same" padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.weight = Parameter(
+            init.xavier_uniform((in_channels * kernel_size, out_channels), rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Input shape ``(batch, in_channels, length)`` -> ``(batch, out_channels, length)``."""
+        batch, channels, length = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {channels}")
+        pad_left = (self.kernel_size - 1) // 2
+        pad_right = self.kernel_size - 1 - pad_left
+
+        padded = np.zeros((batch, channels, length + self.kernel_size - 1))
+        padded_tensor = Tensor(padded)
+        # Insert x into the padded buffer via concatenation to keep gradients.
+        zeros_left = Tensor(np.zeros((batch, channels, pad_left)))
+        zeros_right = Tensor(np.zeros((batch, channels, pad_right)))
+        padded_tensor = Tensor.concat([zeros_left, x, zeros_right], axis=2)
+
+        # im2col: gather kernel_size shifted views and stack on the channel axis.
+        columns = [
+            padded_tensor[:, :, offset:offset + length]
+            for offset in range(self.kernel_size)
+        ]
+        stacked = Tensor.concat(columns, axis=1)  # (batch, C*K, length)
+        stacked = stacked.transpose(0, 2, 1)  # (batch, length, C*K)
+        out = stacked @ self.weight + self.bias  # (batch, length, out_channels)
+        return out.transpose(0, 2, 1)
+
+
+class Conv2d(Module):
+    """2-D convolution with "same" padding, lowered to matrix multiplication."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.weight = Parameter(
+            init.xavier_uniform((in_channels * kernel_size * kernel_size, out_channels), rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Input ``(batch, in_channels, height, width)`` -> same spatial shape."""
+        batch, channels, height, width = x.shape
+        if channels != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {channels}")
+        k = self.kernel_size
+        pad = (k - 1) // 2
+        pad_after = k - 1 - pad
+
+        zeros_top = Tensor(np.zeros((batch, channels, pad, width)))
+        zeros_bottom = Tensor(np.zeros((batch, channels, pad_after, width)))
+        padded = Tensor.concat([zeros_top, x, zeros_bottom], axis=2)
+        padded_height = height + k - 1
+        zeros_left = Tensor(np.zeros((batch, channels, padded_height, pad)))
+        zeros_right = Tensor(np.zeros((batch, channels, padded_height, pad_after)))
+        padded = Tensor.concat([zeros_left, padded, zeros_right], axis=3)
+
+        patches = []
+        for dy in range(k):
+            for dx in range(k):
+                patches.append(padded[:, :, dy:dy + height, dx:dx + width])
+        stacked = Tensor.concat(patches, axis=1)  # (batch, C*K*K, H, W)
+        stacked = stacked.transpose(0, 2, 3, 1)  # (batch, H, W, C*K*K)
+        out = stacked @ self.weight + self.bias  # (batch, H, W, out_channels)
+        return out.transpose(0, 3, 1, 2)

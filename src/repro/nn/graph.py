@@ -1,0 +1,120 @@
+"""Graph neural-network layers.
+
+``GCNLayer`` implements the propagation rule used by AERO's concurrent-noise
+reconstruction module (Eq. 14): a degree-normalized adjacency multiplies the
+node features, followed by a learnable linear map and an activation.  The
+adjacency matrix is supplied at call time, which is what makes the paper's
+window-wise graph structure learning possible — every sliding window can use
+a different graph.
+
+``GraphAttentionLayer`` provides a simple graph-attention variant used by the
+GDN baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .layers import Linear
+from .module import Module, Parameter
+from .tensor import Tensor
+
+__all__ = ["normalize_adjacency", "GCNLayer", "GraphAttentionLayer"]
+
+
+def normalize_adjacency(
+    adjacency: np.ndarray,
+    remove_self_loops: bool = False,
+    add_self_loops: bool = False,
+    eps: float = 1e-8,
+) -> np.ndarray:
+    """Return the row-normalized adjacency ``D^-1 A``.
+
+    Parameters
+    ----------
+    adjacency:
+        Square adjacency matrix (may carry real-valued weights).
+    remove_self_loops:
+        Zero the diagonal before normalizing.  AERO removes self-loops so a
+        true anomaly cannot be reconstructed from its own error signature.
+    add_self_loops:
+        Add the identity before normalizing (classic GCN formulation).
+    """
+    adjacency = np.asarray(adjacency, dtype=np.float64)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square, got shape {adjacency.shape}")
+    result = adjacency.copy()
+    if remove_self_loops:
+        np.fill_diagonal(result, 0.0)
+    if add_self_loops:
+        result = result + np.eye(result.shape[0])
+    # Normalise by the total absolute edge weight so rows with mixed-sign or
+    # near-zero weights do not blow up the propagation.
+    degree = np.abs(result).sum(axis=1)
+    inverse_degree = np.where(degree > eps, 1.0 / (degree + eps), 0.0)
+    return inverse_degree[:, None] * result
+
+
+class GCNLayer(Module):
+    """Single graph-convolution layer ``sigma(D^-1 A X W + b)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        activation: str = "sigmoid",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,)))
+        if activation not in {"sigmoid", "relu", "tanh", "identity"}:
+            raise ValueError(f"unsupported activation: {activation}")
+        self.activation = activation
+
+    def forward(self, x: Tensor, normalized_adjacency: np.ndarray) -> Tensor:
+        """Apply the layer to node features ``x`` of shape ``(nodes, features)``."""
+        propagated = Tensor(np.asarray(normalized_adjacency)) @ x
+        out = propagated @ self.weight + self.bias
+        if self.activation == "sigmoid":
+            return out.sigmoid()
+        if self.activation == "relu":
+            return out.relu()
+        if self.activation == "tanh":
+            return out.tanh()
+        return out
+
+
+class GraphAttentionLayer(Module):
+    """Graph attention with additive scoring, as used by the GDN baseline.
+
+    The attention coefficients are computed between a node and its neighbors
+    (given by a binary adjacency), then used to aggregate neighbor features.
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.project = Linear(in_features, out_features, rng=rng)
+        self.attention_vector = Parameter(init.xavier_uniform((2 * out_features, 1), rng))
+
+    def forward(self, x: Tensor, adjacency: np.ndarray) -> Tensor:
+        """Node features ``x``: ``(nodes, in_features)``; binary ``adjacency``."""
+        num_nodes = x.shape[0]
+        projected = self.project(x)
+        out_features = projected.shape[-1]
+
+        # Build all pairwise concatenations (i, j) -> [h_i ; h_j].
+        left = projected.expand_dims(1).repeat(num_nodes, axis=1)
+        right = projected.expand_dims(0).repeat(num_nodes, axis=0)
+        pairs = Tensor.concat([left, right], axis=-1)
+        scores = (pairs @ self.attention_vector).squeeze(-1)
+        scores = scores.tanh()
+
+        mask = np.asarray(adjacency, dtype=bool)
+        np.fill_diagonal(mask, True)
+        penalty = np.where(mask, 0.0, -1e9)
+        weights = (scores + Tensor(penalty)).softmax(axis=-1)
+        return (weights @ projected).relu()

@@ -1,0 +1,55 @@
+"""Loss functions used by AERO and the baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["mse_loss", "mae_loss", "huber_loss", "gaussian_nll", "kl_divergence_normal"]
+
+
+def _as_tensor(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error (the reconstruction loss in Eq. 15-16)."""
+    prediction = _as_tensor(prediction)
+    target = _as_tensor(target)
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error."""
+    prediction = _as_tensor(prediction)
+    target = _as_tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic near zero, linear in the tails."""
+    prediction = _as_tensor(prediction)
+    target = _as_tensor(target)
+    diff = prediction - target
+    abs_diff = diff.abs()
+    quadratic = 0.5 * diff * diff
+    linear = delta * abs_diff - Tensor(0.5 * delta ** 2)
+    mask = abs_diff.data <= delta
+    return Tensor.where(mask, quadratic, linear).mean()
+
+
+def gaussian_nll(target: Tensor, mean: Tensor, log_var: Tensor) -> Tensor:
+    """Negative log-likelihood of ``target`` under a diagonal Gaussian.
+
+    Used by the VAE-based baselines (Donut, OmniAnomaly).
+    """
+    target = _as_tensor(target)
+    diff = target - mean
+    return (0.5 * (log_var + diff * diff / log_var.exp() + np.log(2.0 * np.pi))).mean()
+
+
+def kl_divergence_normal(mean: Tensor, log_var: Tensor) -> Tensor:
+    """KL( N(mean, exp(log_var)) || N(0, 1) ), averaged over elements."""
+    return (-0.5 * (Tensor(1.0) + log_var - mean * mean - log_var.exp())).mean()

@@ -1,0 +1,116 @@
+"""Recurrent layers (GRU / LSTM cells) used by the OmniAnomaly and Donut-style
+baselines and by the dynamic-graph (ESG) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["GRUCell", "GRU", "LSTMCell", "LSTM"]
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit cell."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.x_gates = Linear(input_size, 3 * hidden_size, rng=rng)
+        self.h_gates = Linear(hidden_size, 3 * hidden_size, rng=rng)
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """Advance the cell one step.
+
+        Parameters
+        ----------
+        x:
+            Input of shape ``(batch, input_size)``.
+        hidden:
+            Previous hidden state of shape ``(batch, hidden_size)``.
+        """
+        gx = self.x_gates(x)
+        gh = self.h_gates(hidden)
+        h = self.hidden_size
+        reset = (gx[:, :h] + gh[:, :h]).sigmoid()
+        update = (gx[:, h:2 * h] + gh[:, h:2 * h]).sigmoid()
+        candidate = (gx[:, 2 * h:] + reset * gh[:, 2 * h:]).tanh()
+        return update * hidden + (Tensor(1.0) - update) * candidate
+
+
+class GRU(Module):
+    """Unrolled single-layer GRU over a sequence."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, hidden: Tensor | None = None) -> tuple[Tensor, Tensor]:
+        """Run the GRU over ``x`` of shape ``(batch, length, input_size)``.
+
+        Returns the stacked hidden states ``(batch, length, hidden_size)`` and
+        the final hidden state ``(batch, hidden_size)``.
+        """
+        batch, length, _ = x.shape
+        if hidden is None:
+            hidden = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs = []
+        for t in range(length):
+            hidden = self.cell(x[:, t, :], hidden)
+            outputs.append(hidden)
+        return Tensor.stack(outputs, axis=1), hidden
+
+
+class LSTMCell(Module):
+    """A single long short-term memory cell."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.x_gates = Linear(input_size, 4 * hidden_size, rng=rng)
+        self.h_gates = Linear(hidden_size, 4 * hidden_size, rng=rng)
+
+    def forward(self, x: Tensor, hidden: Tensor, cell: Tensor) -> tuple[Tensor, Tensor]:
+        gates = self.x_gates(x) + self.h_gates(hidden)
+        h = self.hidden_size
+        input_gate = gates[:, :h].sigmoid()
+        forget_gate = gates[:, h:2 * h].sigmoid()
+        candidate = gates[:, 2 * h:3 * h].tanh()
+        output_gate = gates[:, 3 * h:].sigmoid()
+        new_cell = forget_gate * cell + input_gate * candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+
+class LSTM(Module):
+    """Unrolled single-layer LSTM over a sequence."""
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(
+        self,
+        x: Tensor,
+        state: tuple[Tensor, Tensor] | None = None,
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        batch, length, _ = x.shape
+        if state is None:
+            hidden = Tensor(np.zeros((batch, self.hidden_size)))
+            cell = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            hidden, cell = state
+        outputs = []
+        for t in range(length):
+            hidden, cell = self.cell(x[:, t, :], hidden, cell)
+            outputs.append(hidden)
+        return Tensor.stack(outputs, axis=1), (hidden, cell)

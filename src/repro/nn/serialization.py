@@ -1,0 +1,38 @@
+"""Saving and loading model parameters to/from ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | Path) -> Path:
+    """Persist all parameters of ``module`` into a compressed ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    # ``np.savez`` forbids "/" in keys on some platforms; escape dots too for safety.
+    np.savez_compressed(path, **{_escape(key): value for key, value in state.items()})
+    return path
+
+
+def load_module(module: Module, path: str | Path) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module`` in place."""
+    path = Path(path)
+    with np.load(path) as archive:
+        state = {_unescape(key): archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module
+
+
+def _escape(key: str) -> str:
+    return key.replace(".", "__DOT__")
+
+
+def _unescape(key: str) -> str:
+    return key.replace("__DOT__", ".")

@@ -1,0 +1,145 @@
+"""Transformer encoder and decoder blocks (Eq. 7-8 in the paper).
+
+These blocks use the post-norm residual arrangement of the original
+Transformer, which is what the AERO paper describes:
+
+* encoder:  ``LayerNorm(x + MHA(x, x, x))`` followed by
+  ``LayerNorm(h + FFN(h))``;
+* decoder:  self-attention on the short-window embedding, then
+  cross-attention with the encoder output as keys/values, then a
+  feed-forward block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .attention import MultiHeadAttention
+from .layers import Dropout, FeedForward, LayerNorm
+from .module import Module
+from .tensor import Tensor
+
+__all__ = [
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "TransformerEncoder",
+    "TransformerDecoder",
+]
+
+
+class TransformerEncoderLayer(Module):
+    """A single post-norm Transformer encoder layer."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.self_attention = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.feed_forward = FeedForward(d_model, d_ff, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        attended = self.self_attention(x, x, x, mask=mask)
+        x = self.norm1(x + self.dropout(attended))
+        transformed = self.feed_forward(x)
+        return self.norm2(x + self.dropout(transformed))
+
+
+class TransformerDecoderLayer(Module):
+    """A single post-norm Transformer decoder layer with cross-attention."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        d_ff: int | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.self_attention = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.cross_attention = MultiHeadAttention(d_model, num_heads, dropout=dropout, rng=rng)
+        self.feed_forward = FeedForward(d_model, d_ff, dropout=dropout, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.norm3 = LayerNorm(d_model)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: np.ndarray | None = None,
+        memory_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        attended = self.self_attention(x, x, x, mask=self_mask)
+        x = self.norm1(x + self.dropout(attended))
+        cross = self.cross_attention(x, memory, memory, mask=memory_mask)
+        x = self.norm2(x + self.dropout(cross))
+        transformed = self.feed_forward(x)
+        return self.norm3(x + self.dropout(transformed))
+
+
+class TransformerEncoder(Module):
+    """A stack of encoder layers."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        num_layers: int = 1,
+        d_ff: int | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.layers = [
+            TransformerEncoderLayer(d_model, num_heads, d_ff=d_ff, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, mask=mask)
+        return x
+
+
+class TransformerDecoder(Module):
+    """A stack of decoder layers sharing the same encoder memory."""
+
+    def __init__(
+        self,
+        d_model: int,
+        num_heads: int,
+        num_layers: int = 1,
+        d_ff: int | None = None,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.layers = [
+            TransformerDecoderLayer(d_model, num_heads, d_ff=d_ff, dropout=dropout, rng=rng)
+            for _ in range(num_layers)
+        ]
+
+    def forward(
+        self,
+        x: Tensor,
+        memory: Tensor,
+        self_mask: np.ndarray | None = None,
+        memory_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        for layer in self.layers:
+            x = layer(x, memory, self_mask=self_mask, memory_mask=memory_mask)
+        return x

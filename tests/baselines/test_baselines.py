@@ -1,0 +1,196 @@
+"""Tests for the eleven baseline detectors and their shared protocol."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BASELINE_REGISTRY,
+    MULTIVARIATE_BASELINES,
+    UNIVARIATE_BASELINES,
+    FluxEV,
+    GDN,
+    SpectralResidual,
+    Spot,
+    TemplateMatching,
+    TimesNet,
+    dominant_periods,
+    get_baseline,
+)
+from repro.data import SyntheticConfig, generate_synthetic
+
+FAST_NN = dict(epochs=1, train_stride=8, window=12)
+
+
+def tiny_dataset(seed=21):
+    config = SyntheticConfig(
+        num_variates=5,
+        train_length=100,
+        test_length=100,
+        num_noise_events=2,
+        num_anomaly_segments=2,
+        seed=seed,
+    )
+    return generate_synthetic(config)
+
+
+def spiky_series(length=300, variates=3, spike_at=150, spike_size=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    train = rng.normal(0, 0.3, size=(length, variates))
+    test = rng.normal(0, 0.3, size=(length, variates))
+    labels = np.zeros((length, variates), dtype=int)
+    test[spike_at:spike_at + 5, 1] += spike_size
+    labels[spike_at:spike_at + 5, 1] = 1
+    return train, test, labels
+
+
+class TestRegistry:
+    def test_contains_all_eleven(self):
+        assert len(BASELINE_REGISTRY) == 11
+        assert set(UNIVARIATE_BASELINES) | set(MULTIVARIATE_BASELINES) == set(BASELINE_REGISTRY)
+
+    def test_get_baseline_unknown(self):
+        with pytest.raises(KeyError):
+            get_baseline("LSTM-Mega")
+
+    def test_get_baseline_constructs_named_classes(self):
+        assert get_baseline("SR").name == "SR"
+        assert get_baseline("GDN", **FAST_NN).name == "GDN"
+
+    def test_names_match_registry_keys(self):
+        for name, cls in BASELINE_REGISTRY.items():
+            if name == "TM":
+                assert cls.name == "TM"
+            else:
+                assert cls.name == name or cls.name.replace(" ", "") == name
+
+
+class TestStatisticalBaselines:
+    def test_spot_scores_deviation(self):
+        train, test, labels = spiky_series()
+        detector = Spot().fit(train)
+        scores = detector.score(test)
+        assert scores[labels.astype(bool)].mean() > 5 * scores[~labels.astype(bool)].mean()
+
+    def test_spot_detects_planted_spike(self):
+        train, test, labels = spiky_series()
+        outcome = Spot().fit(train).evaluate(test, labels)
+        assert outcome.result.recall == 1.0
+
+    def test_spot_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            Spot().score(np.zeros((10, 2)))
+
+    def test_template_matching_scores_flare_shapes(self):
+        from repro.data import flare_template
+
+        rng = np.random.default_rng(1)
+        train = rng.normal(0, 0.2, size=(300, 2))
+        test = rng.normal(0, 0.2, size=(300, 2))
+        test[100:130, 0] += flare_template(30, amplitude=3.0)
+        detector = TemplateMatching().fit(train)
+        scores = detector.score(test)
+        assert scores[100:130, 0].max() > np.percentile(scores[:, 0], 99)
+
+    def test_template_matching_invalid_length(self):
+        with pytest.raises(ValueError):
+            TemplateMatching(template_length=2)
+
+    def test_spectral_residual_scores_are_non_negative(self):
+        train, test, _ = spiky_series()
+        scores = SpectralResidual().fit(train).score(test)
+        assert (scores >= 0).all()
+
+    def test_spectral_residual_highlights_spike(self):
+        train, test, labels = spiky_series(spike_size=15.0)
+        scores = SpectralResidual().fit(train).score(test)
+        anomalous = labels.astype(bool)
+        assert scores[anomalous].max() > np.percentile(scores[~anomalous], 99)
+
+    def test_spectral_residual_validation(self):
+        with pytest.raises(ValueError):
+            SpectralResidual(smoothing_window=0)
+
+    def test_fluxev_detects_pattern_change(self):
+        train, test, labels = spiky_series(spike_size=8.0)
+        outcome = FluxEV().fit(train).evaluate(test, labels)
+        assert outcome.result.recall > 0.0
+
+    def test_fluxev_validation(self):
+        with pytest.raises(ValueError):
+            FluxEV(local_window=1)
+        with pytest.raises(ValueError):
+            FluxEV(smoothing=0.0)
+
+
+class TestNeuralBaselines:
+    @pytest.mark.parametrize("name", sorted(set(BASELINE_REGISTRY) - {"TM", "SR", "SPOT", "FluxEV"}))
+    def test_fit_score_evaluate_roundtrip(self, name):
+        dataset = tiny_dataset()
+        detector = get_baseline(name, **FAST_NN)
+        detector.fit(dataset.train)
+        scores = detector.score(dataset.test)
+        assert scores.shape == dataset.test.shape
+        assert np.isfinite(scores).all()
+        assert (scores >= 0).all()
+        outcome = detector.evaluate(dataset.test, dataset.test_labels)
+        assert 0.0 <= outcome.result.f1 <= 1.0
+        assert len(detector.training_losses_) == 1
+
+    def test_neural_baseline_requires_fit(self):
+        detector = get_baseline("Donut", **FAST_NN)
+        with pytest.raises(RuntimeError):
+            detector.score(np.zeros((20, 3)))
+
+    def test_neural_baseline_window_clamped(self):
+        detector = get_baseline("Donut", epochs=1, train_stride=2, window=64)
+        rng = np.random.default_rng(0)
+        detector.fit(rng.normal(size=(30, 2)))
+        assert detector.window <= 30
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            get_baseline("Donut", window=1)
+        with pytest.raises(ValueError):
+            get_baseline("Donut", epochs=0)
+
+    def test_donut_detects_large_spike(self):
+        train, test, labels = spiky_series(spike_size=20.0)
+        detector = get_baseline("Donut", epochs=3, train_stride=4, window=16)
+        detector.fit(train)
+        outcome = detector.evaluate(test, labels)
+        assert outcome.result.recall > 0.0
+
+    def test_gdn_learned_adjacency_topk(self):
+        dataset = tiny_dataset(seed=3)
+        detector = GDN(epochs=1, train_stride=8, window=12, top_k=2)
+        detector.fit(dataset.train)
+        adjacency = detector.model.learned_adjacency()
+        assert adjacency.shape == (5, 5)
+        np.testing.assert_allclose(adjacency.sum(axis=1), np.full(5, 2.0))
+        np.testing.assert_allclose(np.diag(adjacency), np.zeros(5))
+
+    def test_esg_builds_evolving_graph(self):
+        dataset = tiny_dataset(seed=4)
+        detector = get_baseline("ESG", epochs=1, train_stride=10, window=10)
+        detector.fit(dataset.train)
+        detector.score(dataset.test[:30])
+        adjacency = detector.model.last_adjacency
+        assert adjacency.shape == (5, 5)
+        assert (adjacency >= 0).all() and (adjacency <= 1).all()
+
+
+class TestTimesNetPeriods:
+    def test_dominant_period_of_pure_sinusoid(self):
+        t = np.arange(128)
+        signal = np.sin(2 * np.pi * t / 16)
+        periods = dominant_periods(signal, top_k=1)
+        assert abs(periods[0] - 16) <= 2
+
+    def test_dominant_periods_multivariate(self):
+        t = np.arange(64)
+        window = np.stack([np.sin(2 * np.pi * t / 8), np.sin(2 * np.pi * t / 8 + 1.0)], axis=1)
+        periods = dominant_periods(window, top_k=2)
+        assert all(2 <= p <= 64 for p in periods)
+
+    def test_constant_signal_falls_back_to_window_length(self):
+        assert dominant_periods(np.ones(32), top_k=1)[0] >= 2

@@ -1,0 +1,270 @@
+"""Unit tests for AERO's components: config, time embedding, temporal module,
+graph learning and the concurrent-noise reconstruction module."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AeroConfig,
+    ConcurrentNoiseReconstructionModule,
+    TemporalReconstructionModule,
+    TimeEmbedding,
+    batch_window_adjacency,
+    noise_ground_truth_graph,
+    static_complete_adjacency,
+    window_wise_adjacency,
+)
+from repro.nn import Tensor, mse_loss
+
+RNG = np.random.default_rng(0)
+FAST = AeroConfig.fast(window=20, short_window=6)
+
+
+class TestAeroConfig:
+    def test_paper_defaults(self):
+        config = AeroConfig.paper()
+        assert config.window == 200
+        assert config.short_window == 60
+        assert config.num_heads == 4
+        assert config.num_encoder_layers == 1
+        assert config.learning_rate == pytest.approx(1e-3)
+        assert config.pot_level == pytest.approx(0.99)
+        assert config.pot_q == pytest.approx(1e-3)
+
+    def test_fast_profile_is_valid(self):
+        config = AeroConfig.fast()
+        assert config.short_window < config.window
+
+    def test_scaled_override(self):
+        config = AeroConfig.fast().scaled(d_model=32)
+        assert config.d_model == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AeroConfig(window=10, short_window=20)
+        with pytest.raises(ValueError):
+            AeroConfig(d_model=10, num_heads=3)
+        with pytest.raises(ValueError):
+            AeroConfig(conditioning="inverted")
+        with pytest.raises(ValueError):
+            AeroConfig(window=10, short_window=10, conditioning="masked")
+        with pytest.raises(ValueError):
+            AeroConfig(pot_level=2.0)
+
+
+class TestTimeEmbedding:
+    def test_output_shape(self):
+        embedding = TimeEmbedding(d_model=8)
+        out = embedding(np.arange(10.0))
+        assert out.shape == (10, 8)
+
+    def test_batched_output_shape(self):
+        embedding = TimeEmbedding(d_model=8)
+        out = embedding(np.tile(np.arange(5.0), (3, 1)))
+        assert out.shape == (3, 5, 8)
+
+    def test_bounded_values(self):
+        embedding = TimeEmbedding(d_model=8)
+        out = embedding(np.arange(50.0) * 13.0)
+        assert np.abs(out.data).max() <= 2.0 + 1e-9
+
+    def test_irregular_intervals_change_embedding(self):
+        embedding = TimeEmbedding(d_model=8)
+        regular = embedding(np.arange(6.0)).data
+        irregular = embedding(np.array([0.0, 1.0, 2.0, 10.0, 11.0, 12.0])).data
+        assert not np.allclose(regular, irregular)
+
+    def test_position_offset_changes_embedding(self):
+        embedding = TimeEmbedding(d_model=8)
+        base = embedding(np.arange(4.0)).data
+        shifted = embedding(np.arange(4.0), position_offset=10).data
+        assert not np.allclose(base, shifted)
+
+    def test_alpha_is_learnable(self):
+        embedding = TimeEmbedding(d_model=4)
+        out = embedding(np.arange(5.0))
+        out.sum().backward()
+        assert embedding.alpha.grad is not None
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            TimeEmbedding(0)
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(ValueError):
+            TimeEmbedding(4)(np.zeros((2, 3, 4)))
+
+
+class TestTemporalReconstructionModule:
+    def test_output_shape_masked(self):
+        module = TemporalReconstructionModule(FAST, rng=RNG)
+        out = module(RNG.normal(size=(2, 3, 20)), RNG.normal(size=(2, 3, 6)))
+        assert out.shape == (2, 3, 6)
+
+    def test_output_shape_full_conditioning(self):
+        config = FAST.scaled(conditioning="full")
+        module = TemporalReconstructionModule(config, rng=RNG)
+        out = module(RNG.normal(size=(2, 3, 20)), RNG.normal(size=(2, 3, 6)))
+        assert out.shape == (2, 3, 6)
+
+    def test_output_in_unit_interval(self):
+        module = TemporalReconstructionModule(FAST, rng=RNG)
+        out = module(RNG.normal(size=(1, 2, 20)), RNG.normal(size=(1, 2, 6)))
+        assert (out.data >= 0).all() and (out.data <= 1).all()
+
+    def test_multivariate_input_variant(self):
+        module = TemporalReconstructionModule(FAST, multivariate_input=True, num_variates=3, rng=RNG)
+        out = module(RNG.normal(size=(2, 3, 20)), RNG.normal(size=(2, 3, 6)))
+        assert out.shape == (2, 3, 6)
+
+    def test_multivariate_requires_num_variates(self):
+        with pytest.raises(ValueError):
+            TemporalReconstructionModule(FAST, multivariate_input=True)
+
+    def test_no_short_window_variant_reconstructs_full_window(self):
+        module = TemporalReconstructionModule(FAST, use_short_window=False, rng=RNG)
+        out = module(RNG.normal(size=(1, 2, 20)), RNG.normal(size=(1, 2, 6)))
+        assert out.shape == (1, 2, 20)
+
+    def test_variates_processed_independently(self):
+        """In univariate mode, changing one star must not affect another's output."""
+        module = TemporalReconstructionModule(FAST, rng=RNG)
+        long = RNG.normal(size=(1, 3, 20))
+        short = RNG.normal(size=(1, 3, 6))
+        base = module(long, short).data
+        modified_long = long.copy()
+        modified_long[0, 0] += 5.0
+        modified = module(modified_long, short).data
+        np.testing.assert_allclose(base[0, 1:], modified[0, 1:], atol=1e-9)
+
+    def test_gradients_reach_all_parameters(self):
+        module = TemporalReconstructionModule(FAST, rng=RNG)
+        out = module(RNG.normal(size=(2, 2, 20)), RNG.normal(size=(2, 2, 6)))
+        mse_loss(out, Tensor(np.zeros_like(out.data))).backward()
+        grads = [p.grad is not None for _, p in module.named_parameters()]
+        # The masked conditioning path does not use the decoder value embedding.
+        assert sum(grads) >= len(grads) - 2
+
+    def test_reconstruction_errors_shape(self):
+        module = TemporalReconstructionModule(FAST, rng=RNG)
+        errors = module.reconstruction_errors(RNG.normal(size=(2, 3, 20)), RNG.normal(size=(2, 3, 6)))
+        assert errors.shape == (2, 3, 6)
+
+
+class TestGraphLearning:
+    def test_window_wise_adjacency_identical_errors(self):
+        errors = np.tile(RNG.normal(size=(1, 8)), (4, 1))
+        adjacency = window_wise_adjacency(errors)
+        np.testing.assert_allclose(adjacency, np.ones((4, 4)), atol=1e-9)
+
+    def test_window_wise_adjacency_orthogonal_errors(self):
+        errors = np.array([[1.0, 0.0], [0.0, 1.0]])
+        adjacency = window_wise_adjacency(errors)
+        assert adjacency[0, 1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_window_wise_adjacency_symmetric(self):
+        adjacency = window_wise_adjacency(RNG.normal(size=(6, 10)))
+        np.testing.assert_allclose(adjacency, adjacency.T, atol=1e-12)
+
+    def test_window_wise_adjacency_range(self):
+        adjacency = window_wise_adjacency(RNG.normal(size=(6, 10)))
+        assert (adjacency >= 0.0).all() and (adjacency <= 1.0).all()
+
+    def test_window_wise_adjacency_allows_negative_when_requested(self):
+        errors = np.array([[1.0, 1.0], [-1.0, -1.0]])
+        adjacency = window_wise_adjacency(errors, non_negative=False)
+        assert adjacency[0, 1] == pytest.approx(-1.0)
+
+    def test_window_wise_adjacency_validation(self):
+        with pytest.raises(ValueError):
+            window_wise_adjacency(np.zeros(5))
+
+    def test_batch_adjacency_matches_single(self):
+        errors = RNG.normal(size=(3, 5, 7))
+        batch = batch_window_adjacency(errors)
+        for index in range(3):
+            np.testing.assert_allclose(batch[index], window_wise_adjacency(errors[index]), atol=1e-12)
+
+    def test_noise_correlation_detected(self):
+        """Stars sharing an injected noise shape are strongly connected."""
+        shape = np.sin(np.linspace(0, np.pi, 12))
+        errors = RNG.normal(size=(6, 12)) * 0.05
+        errors[[1, 3, 4]] += shape
+        adjacency = window_wise_adjacency(errors)
+        affected = adjacency[np.ix_([1, 3, 4], [1, 3, 4])]
+        off_diag = affected[~np.eye(3, dtype=bool)]
+        assert off_diag.min() > 0.8
+        assert adjacency[1, 0] < 0.7
+
+    def test_static_complete_adjacency(self):
+        adjacency = static_complete_adjacency(4)
+        np.testing.assert_allclose(adjacency, np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            static_complete_adjacency(0)
+
+    def test_noise_ground_truth_graph(self):
+        mask = np.zeros((10, 4), dtype=int)
+        mask[2:5, [0, 2]] = 1
+        graph = noise_ground_truth_graph(mask)
+        assert graph[0, 2] == 1.0
+        assert graph[1, 3] == 0.0
+        with pytest.raises(ValueError):
+            noise_ground_truth_graph(np.zeros(5))
+
+
+class TestConcurrentNoiseModule:
+    def test_output_shape(self):
+        module = ConcurrentNoiseReconstructionModule(FAST, feature_dim=6, rng=RNG)
+        out = module(RNG.normal(size=(2, 4, 6)), RNG.normal(size=(2, 4, 6)))
+        assert out.shape == (2, 4, 6)
+
+    def test_last_adjacency_stored(self):
+        module = ConcurrentNoiseReconstructionModule(FAST, feature_dim=6, rng=RNG)
+        module(RNG.normal(size=(1, 5, 6)), RNG.normal(size=(1, 5, 6)))
+        assert module.last_adjacency.shape == (5, 5)
+
+    def test_graph_modes(self):
+        for mode in ("window", "static", "dynamic"):
+            module = ConcurrentNoiseReconstructionModule(FAST, feature_dim=6, graph_mode=mode, rng=RNG)
+            out = module(RNG.normal(size=(2, 3, 6)), RNG.normal(size=(2, 3, 6)))
+            assert out.shape == (2, 3, 6)
+
+    def test_invalid_graph_mode(self):
+        with pytest.raises(ValueError):
+            ConcurrentNoiseReconstructionModule(FAST, graph_mode="random")
+
+    def test_shape_mismatch_rejected(self):
+        module = ConcurrentNoiseReconstructionModule(FAST, feature_dim=6, rng=RNG)
+        with pytest.raises(ValueError):
+            module(RNG.normal(size=(1, 3, 6)), RNG.normal(size=(1, 3, 5)))
+
+    def test_correlated_errors_reconstructed_isolated_errors_not(self):
+        """The key mechanism: shared noise is explained away, lone anomalies are not."""
+        module = ConcurrentNoiseReconstructionModule(FAST, feature_dim=6, rng=RNG)
+        shape = np.linspace(0.5, 1.5, 6)
+        errors = RNG.normal(size=(1, 6, 6)) * 0.01
+        errors[0, [0, 1, 2, 3]] += shape          # concurrent noise on 4 stars
+        errors[0, 5] += np.array([0.0, 0.0, 0.0, 0.0, 0.0, 2.0])  # lone anomaly spike
+        out = module(errors, errors).data
+        noise_residual = np.abs(errors[0, 0] - out[0, 0]).mean()
+        anomaly_residual = np.abs(errors[0, 5] - out[0, 5])[-1]
+        # Shared noise is mostly explained away by the neighbours ...
+        assert noise_residual < 0.5 * np.abs(errors[0, 0]).mean()
+        # ... while the lone anomaly keeps a much larger share of its error.
+        assert anomaly_residual > 3.0 * noise_residual
+        assert anomaly_residual > 0.4
+
+    def test_node_scales_validation(self):
+        module = ConcurrentNoiseReconstructionModule(FAST, feature_dim=6, rng=RNG)
+        with pytest.raises(ValueError):
+            module.set_node_scales(np.array([1.0, -1.0]))
+        module.set_node_scales(np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            module(RNG.normal(size=(1, 4, 6)), RNG.normal(size=(1, 4, 6)))
+
+    def test_dynamic_state_reset(self):
+        module = ConcurrentNoiseReconstructionModule(FAST, feature_dim=6, graph_mode="dynamic", rng=RNG)
+        module(RNG.normal(size=(1, 3, 6)), RNG.normal(size=(1, 3, 6)))
+        assert module._dynamic_state is not None
+        module.reset_dynamic_state()
+        assert module._dynamic_state is None

@@ -1,0 +1,230 @@
+"""Tests for the assembled AERO model, the two-stage trainer, the detector and variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ABLATION_VARIANTS,
+    AeroConfig,
+    AeroDetector,
+    AeroModel,
+    AeroTrainer,
+    EarlyStopping,
+    VARIANT_LABELS,
+    build_variant,
+)
+from repro.data import SyntheticConfig, generate_synthetic
+from repro.data.windows import WindowDataset
+from repro.nn import save_module, load_module
+
+RNG = np.random.default_rng(0)
+FAST = AeroConfig.fast(window=20, short_window=6).scaled(
+    max_epochs_stage1=2, max_epochs_stage2=2, train_stride=6, batch_size=8, d_model=8, num_heads=2
+)
+
+
+def tiny_dataset(seed=11):
+    config = SyntheticConfig(
+        num_variates=6,
+        train_length=120,
+        test_length=120,
+        num_noise_events=2,
+        num_anomaly_segments=2,
+        noise_variate_fraction=0.7,
+        seed=seed,
+    )
+    return generate_synthetic(config)
+
+
+@pytest.fixture(scope="module")
+def fitted_detector():
+    dataset = tiny_dataset()
+    detector = AeroDetector(FAST)
+    detector.fit(dataset.train)
+    return detector, dataset
+
+
+class TestAeroModel:
+    def test_forward_result_shapes(self):
+        model = AeroModel(FAST, num_variates=4)
+        result = model(RNG.normal(size=(3, 4, 20)), RNG.normal(size=(3, 4, 6)))
+        assert result.reconstruction.shape == (3, 4, 6)
+        assert result.errors.shape == (3, 4, 6)
+        assert result.noise_reconstruction.shape == (3, 4, 6)
+        assert result.residual.shape == (3, 4, 6)
+        assert result.scores.shape == (3, 4)
+
+    def test_scores_are_non_negative(self):
+        model = AeroModel(FAST, num_variates=3)
+        result = model(RNG.normal(size=(2, 3, 20)), RNG.normal(size=(2, 3, 6)))
+        assert (result.scores >= 0).all()
+
+    def test_disabling_both_modules_rejected(self):
+        with pytest.raises(ValueError):
+            AeroModel(FAST, num_variates=3, use_temporal=False, use_noise_module=False)
+
+    def test_temporal_only_variant(self):
+        model = AeroModel(FAST, num_variates=3, use_noise_module=False)
+        result = model(RNG.normal(size=(1, 3, 20)), RNG.normal(size=(1, 3, 6)))
+        np.testing.assert_allclose(result.noise_reconstruction, 0.0)
+
+    def test_noise_only_variant(self):
+        model = AeroModel(FAST, num_variates=3, use_temporal=False)
+        result = model(RNG.normal(size=(1, 3, 20)), RNG.normal(size=(1, 3, 6)))
+        np.testing.assert_allclose(result.reconstruction, 0.0)
+
+    def test_disabled_module_raises_on_direct_call(self):
+        model = AeroModel(FAST, num_variates=3, use_noise_module=False)
+        with pytest.raises(RuntimeError):
+            model.noise_forward(np.zeros((1, 3, 6)), np.zeros((1, 3, 6)))
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        model = AeroModel(FAST, num_variates=3)
+        path = save_module(model, tmp_path / "aero.npz")
+        clone = AeroModel(FAST.scaled(seed=99), num_variates=3)
+        load_module(clone, path)
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.0)
+        assert not stopper.step(1.0)
+        assert not stopper.step(1.0)
+        assert stopper.step(1.0)
+
+    def test_resets_on_improvement(self):
+        stopper = EarlyStopping(patience=2, min_delta=0.0)
+        stopper.step(1.0)
+        stopper.step(1.1)
+        assert not stopper.step(0.5)
+        assert stopper.epochs_without_improvement == 0
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestTrainer:
+    def test_two_stage_training_decreases_stage1_loss(self):
+        dataset = tiny_dataset(seed=5)
+        scaled = (dataset.train - dataset.train.min(axis=0)) / (np.ptp(dataset.train, axis=0) + 1e-9)
+        config = FAST.scaled(max_epochs_stage1=4, max_epochs_stage2=2, learning_rate=5e-3)
+        model = AeroModel(config, num_variates=dataset.num_variates)
+        windows = WindowDataset(scaled, config.window, config.short_window, stride=config.train_stride)
+        history = AeroTrainer(config).train(model, windows)
+        assert history.stage1_epochs >= 2
+        assert history.stage2_epochs >= 1
+        assert history.stage1_losses[-1] <= history.stage1_losses[0]
+
+    def test_training_skips_disabled_stage(self):
+        dataset = tiny_dataset(seed=6)
+        model = AeroModel(FAST, num_variates=dataset.num_variates, use_noise_module=False)
+        windows = WindowDataset(dataset.train, FAST.window, FAST.short_window, stride=FAST.train_stride)
+        history = AeroTrainer(FAST).train(model, windows)
+        assert history.stage2_epochs == 0
+
+    def test_model_left_in_eval_mode(self):
+        dataset = tiny_dataset(seed=7)
+        model = AeroModel(FAST, num_variates=dataset.num_variates)
+        windows = WindowDataset(dataset.train, FAST.window, FAST.short_window, stride=FAST.train_stride)
+        AeroTrainer(FAST).train(model, windows)
+        assert not model.training
+
+
+class TestAeroDetector:
+    def test_fit_score_detect_shapes(self, fitted_detector):
+        detector, dataset = fitted_detector
+        scores = detector.score(dataset.test)
+        labels = detector.detect(dataset.test)
+        assert scores.shape == dataset.test.shape
+        assert labels.shape == dataset.test.shape
+        assert set(np.unique(labels)) <= {0, 1}
+        assert (scores >= 0).all()
+
+    def test_train_scores_available_after_fit(self, fitted_detector):
+        detector, dataset = fitted_detector
+        assert detector.train_scores_.shape == dataset.train.shape
+        assert np.isfinite(detector.threshold())
+
+    def test_evaluate_returns_report(self, fitted_detector):
+        detector, dataset = fitted_detector
+        report = detector.evaluate(dataset.test, dataset.test_labels)
+        assert 0.0 <= report.outcome.result.f1 <= 1.0
+        assert report.test_scores.shape == dataset.test.shape
+        assert report.history is detector.history
+
+    def test_learned_graph_shape(self, fitted_detector):
+        detector, dataset = fitted_detector
+        detector.score(dataset.test[:60])
+        graph = detector.learned_graph()
+        assert graph.shape == (dataset.num_variates, dataset.num_variates)
+
+    def test_unfitted_detector_raises(self):
+        detector = AeroDetector(FAST)
+        with pytest.raises(RuntimeError):
+            detector.score(np.zeros((30, 3)))
+        with pytest.raises(RuntimeError):
+            detector.threshold()
+
+    def test_rejects_non_2d_input(self, fitted_detector):
+        detector, _ = fitted_detector
+        with pytest.raises(ValueError):
+            detector.score(np.zeros(10))
+
+    def test_window_clamped_to_short_series(self):
+        config = AeroConfig.fast(window=40, short_window=12).scaled(
+            max_epochs_stage1=1, max_epochs_stage2=1, d_model=8, num_heads=2, train_stride=4
+        )
+        detector = AeroDetector(config)
+        rng = np.random.default_rng(1)
+        detector.fit(rng.normal(size=(25, 3)))
+        assert detector.config.window <= 25
+        scores = detector.score(rng.normal(size=(30, 3)))
+        assert scores.shape == (30, 3)
+
+    def test_irregular_timestamps_accepted(self):
+        dataset = tiny_dataset(seed=8)
+        times = np.cumsum(np.random.default_rng(0).exponential(15.0, size=dataset.train_length))
+        detector = AeroDetector(FAST)
+        detector.fit(dataset.train, times)
+        test_times = times[-1] + np.cumsum(
+            np.random.default_rng(1).exponential(15.0, size=dataset.test_length)
+        )
+        scores = detector.score(dataset.test, test_times)
+        assert np.isfinite(scores).all()
+
+
+class TestVariants:
+    def test_registry_complete(self):
+        assert set(ABLATION_VARIANTS) == {
+            "full",
+            "no_temporal",
+            "no_univariate_input",
+            "no_short_window",
+            "no_noise_module",
+            "no_noise_multivariate",
+            "static_graph",
+            "dynamic_graph",
+        }
+        assert set(VARIANT_LABELS) == set(ABLATION_VARIANTS)
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            build_variant("no_everything")
+
+    def test_variant_flags(self):
+        assert build_variant("no_temporal", FAST).use_temporal is False
+        assert build_variant("no_univariate_input", FAST).multivariate_input is True
+        assert build_variant("static_graph", FAST).graph_mode == "static"
+        assert build_variant("dynamic_graph", FAST).graph_mode == "dynamic"
+        assert build_variant("no_noise_module", FAST).use_noise_module is False
+
+    @pytest.mark.parametrize("variant", ["no_temporal", "no_noise_module", "static_graph"])
+    def test_variants_run_end_to_end(self, variant):
+        dataset = tiny_dataset(seed=13)
+        detector = build_variant(variant, FAST)
+        detector.fit(dataset.train)
+        report = detector.evaluate(dataset.test, dataset.test_labels)
+        assert 0.0 <= report.outcome.result.f1 <= 1.0

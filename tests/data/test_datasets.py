@@ -1,0 +1,330 @@
+"""Unit tests for dataset containers, preset generators, windows and preprocessing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    ASTROSET_PRESETS,
+    AstroDataset,
+    GwacConfig,
+    MinMaxScaler,
+    StandardScaler,
+    SYNTHETIC_PRESETS,
+    SyntheticConfig,
+    WindowDataset,
+    dataset_statistics,
+    fill_missing,
+    format_statistics_table,
+    generate_gwac,
+    generate_synthetic,
+    load_astroset,
+    load_synthetic,
+    sliding_windows,
+    statistics_table,
+    train_test_split,
+)
+
+
+def _tiny_dataset():
+    rng = np.random.default_rng(0)
+    train = rng.normal(size=(50, 3))
+    test = rng.normal(size=(40, 3))
+    labels = np.zeros((40, 3), dtype=np.int64)
+    labels[5:10, 1] = 1
+    noise = np.zeros((40, 3), dtype=np.int64)
+    noise[20:30, [0, 2]] = 1
+    return AstroDataset("tiny", train, test, labels, noise)
+
+
+class TestAstroDataset:
+    def test_basic_properties(self):
+        ds = _tiny_dataset()
+        assert ds.num_variates == 3
+        assert ds.train_length == 50
+        assert ds.test_length == 40
+        assert ds.anomaly_rate == pytest.approx(5 / 120)
+        assert ds.noise_rate == pytest.approx(20 / 120)
+        assert ds.anomaly_to_noise_ratio == pytest.approx(0.25)
+
+    def test_anomaly_segments(self):
+        segments = _tiny_dataset().anomaly_segments()
+        assert segments == [(1, 5, 10)]
+
+    def test_noise_affected_variates(self):
+        assert _tiny_dataset().noise_affected_variates() == 2
+
+    def test_summary_keys(self):
+        summary = _tiny_dataset().summary()
+        assert {"dataset", "train", "test", "variates", "anomaly_pct", "noise_pct", "a_n_ratio"} <= set(summary)
+
+    def test_default_timestamps(self):
+        ds = _tiny_dataset()
+        np.testing.assert_allclose(ds.train_timestamps, np.arange(50))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            AstroDataset("bad", np.zeros((10, 2)), np.zeros((10, 3)), np.zeros((10, 3)), np.zeros((10, 3)))
+        with pytest.raises(ValueError):
+            AstroDataset("bad", np.zeros((10, 2)), np.zeros((10, 2)), np.zeros((5, 2)), np.zeros((10, 2)))
+
+    def test_zero_noise_an_ratio(self):
+        ds = AstroDataset(
+            "nz", np.zeros((10, 2)), np.zeros((10, 2)),
+            np.ones((10, 2), dtype=np.int64), np.zeros((10, 2), dtype=np.int64),
+        )
+        assert ds.anomaly_to_noise_ratio == float("inf")
+
+    def test_train_test_split(self):
+        series = np.arange(20.0).reshape(10, 2)
+        labels = np.zeros((10, 2), dtype=np.int64)
+        noise = np.zeros((10, 2), dtype=np.int64)
+        train, test, test_labels, test_noise = train_test_split(series, labels, noise, train_fraction=0.6)
+        assert len(train) == 6
+        assert len(test) == 4
+        with pytest.raises(ValueError):
+            train_test_split(series, labels, noise, train_fraction=1.5)
+
+
+class TestSyntheticGenerator:
+    def test_presets_exist(self):
+        assert set(SYNTHETIC_PRESETS) == {"SyntheticMiddle", "SyntheticHigh", "SyntheticLow"}
+
+    def test_generate_shapes(self):
+        config = SyntheticConfig(num_variates=8, train_length=200, test_length=150,
+                                 num_noise_events=3, num_anomaly_segments=2, seed=1)
+        ds = generate_synthetic(config)
+        assert ds.train.shape == (200, 8)
+        assert ds.test.shape == (150, 8)
+        assert ds.test_labels.shape == (150, 8)
+
+    def test_anomalies_only_in_test(self):
+        ds = load_synthetic("SyntheticMiddle", scale=0.05)
+        assert ds.test_labels.sum() > 0
+
+    def test_noise_present_in_train_and_test(self):
+        ds = load_synthetic("SyntheticMiddle", scale=0.05)
+        assert ds.train_noise_mask.sum() > 0
+        assert ds.test_noise_mask.sum() > 0
+
+    def test_noise_variates_subset(self):
+        ds = load_synthetic("SyntheticMiddle", scale=0.05)
+        noise_variates = set(ds.metadata["noise_variates"])
+        affected = set(np.flatnonzero(ds.test_noise_mask.sum(axis=0) > 0).tolist())
+        assert affected <= noise_variates
+
+    def test_high_has_more_anomaly_segments_than_middle(self):
+        middle = load_synthetic("SyntheticMiddle", scale=0.1)
+        high = load_synthetic("SyntheticHigh", scale=0.1)
+        assert len(high.anomaly_segments()) >= len(middle.anomaly_segments())
+
+    def test_low_has_more_noise_than_middle(self):
+        middle = load_synthetic("SyntheticMiddle", scale=0.1, seed=42)
+        low = load_synthetic("SyntheticLow", scale=0.1, seed=42)
+        assert low.noise_rate > middle.noise_rate
+
+    def test_reproducible_with_seed(self):
+        a = load_synthetic("SyntheticMiddle", scale=0.05, seed=3)
+        b = load_synthetic("SyntheticMiddle", scale=0.05, seed=3)
+        np.testing.assert_allclose(a.train, b.train)
+        np.testing.assert_allclose(a.test, b.test)
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            load_synthetic("SyntheticUltra")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            load_synthetic("SyntheticMiddle", scale=0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig(num_variates=1)
+        with pytest.raises(ValueError):
+            SyntheticConfig(noise_kinds=("sparkles",))
+
+
+class TestGwacGenerator:
+    def test_presets_exist(self):
+        assert set(ASTROSET_PRESETS) == {"AstrosetMiddle", "AstrosetHigh", "AstrosetLow"}
+
+    def test_generate_shapes_and_irregular_times(self):
+        config = GwacConfig(num_variates=6, train_length=150, test_length=100,
+                            num_noise_events=2, num_anomaly_segments=2, seed=2)
+        ds = generate_gwac(config)
+        assert ds.train.shape == (150, 6)
+        intervals = np.diff(ds.train_timestamps)
+        assert (intervals > 0).all()
+        assert intervals.std() > 0  # irregular cadence
+
+    def test_noise_touches_most_variates(self):
+        ds = load_astroset("AstrosetMiddle", scale=0.05)
+        assert ds.noise_affected_variates() >= ds.num_variates * 0.5
+
+    def test_anomaly_segments_rare(self):
+        ds = load_astroset("AstrosetHigh", scale=0.05)
+        assert 1 <= len(ds.anomaly_segments()) <= 6
+
+    def test_reproducible(self):
+        a = load_astroset("AstrosetLow", scale=0.05)
+        b = load_astroset("AstrosetLow", scale=0.05)
+        np.testing.assert_allclose(a.test, b.test)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_astroset("AstrosetHuge")
+
+    def test_metadata_documents_substitution(self):
+        ds = load_astroset("AstrosetMiddle", scale=0.05)
+        assert "simulator" in ds.metadata["source"]
+
+
+class TestStatistics:
+    def test_statistics_table_rows(self):
+        rows = statistics_table([_tiny_dataset()])
+        assert len(rows) == 1
+        assert rows[0]["dataset"] == "tiny"
+
+    def test_format_statistics_table(self):
+        text = format_statistics_table(statistics_table([_tiny_dataset()]))
+        assert "tiny" in text
+        assert "Anomaly%" in text
+
+    def test_dataset_statistics_matches_summary(self):
+        ds = _tiny_dataset()
+        assert dataset_statistics(ds) == ds.summary()
+
+
+class TestWindows:
+    def test_sliding_windows_shape(self):
+        series = np.arange(20.0).reshape(10, 2)
+        windows = sliding_windows(series, window=4)
+        assert windows.shape == (7, 4, 2)
+
+    def test_sliding_windows_stride(self):
+        windows = sliding_windows(np.arange(10.0), window=4, stride=2)
+        assert windows.shape == (4, 4)
+        np.testing.assert_allclose(windows[1], [2, 3, 4, 5])
+
+    def test_sliding_windows_validation(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(3.0), window=5)
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(5.0), window=0)
+
+    def test_window_dataset_instances(self):
+        series = np.arange(40.0).reshape(20, 2)
+        wd = WindowDataset(series, window=8, short_window=3)
+        assert len(wd) == 13
+        long, short, long_times, short_times, end = wd.instance(0)
+        assert long.shape == (2, 8)
+        assert short.shape == (2, 3)
+        assert end == 7
+        np.testing.assert_allclose(short[:, -1], series[7])
+
+    def test_window_dataset_batches_cover_everything(self):
+        series = np.random.default_rng(0).normal(size=(30, 3))
+        wd = WindowDataset(series, window=10, short_window=4)
+        ends = []
+        for batch in wd.batches(batch_size=4):
+            assert batch.long.shape[1:] == (3, 10)
+            assert batch.short.shape[1:] == (3, 4)
+            ends.extend(batch.end_indices.tolist())
+        assert sorted(ends) == list(range(9, 30))
+
+    def test_window_dataset_shuffle_reproducible(self):
+        series = np.random.default_rng(0).normal(size=(30, 2))
+        wd = WindowDataset(series, window=5, short_window=2)
+        ends1 = [b.end_indices.tolist() for b in wd.batches(4, shuffle=True, rng=np.random.default_rng(1))]
+        ends2 = [b.end_indices.tolist() for b in wd.batches(4, shuffle=True, rng=np.random.default_rng(1))]
+        assert ends1 == ends2
+
+    def test_window_dataset_validation(self):
+        series = np.zeros((10, 2))
+        with pytest.raises(ValueError):
+            WindowDataset(series, window=4, short_window=6)
+        with pytest.raises(ValueError):
+            WindowDataset(series, window=20, short_window=2)
+        with pytest.raises(ValueError):
+            WindowDataset(np.zeros(10), window=4, short_window=2)
+
+
+class TestPreprocessing:
+    def test_minmax_scaler_range(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(100, 4)) * 5 + 3
+        scaler = MinMaxScaler()
+        scaled = scaler.fit_transform(data)
+        assert scaled.min() >= 0.0
+        assert scaled.max() <= 1.0
+
+    def test_minmax_inverse_roundtrip(self):
+        data = np.random.default_rng(1).normal(size=(50, 3))
+        scaler = MinMaxScaler()
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.fit_transform(data)), data, atol=1e-9)
+
+    def test_minmax_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((3, 2)))
+
+    def test_minmax_constant_column(self):
+        data = np.ones((10, 2))
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+
+    def test_standard_scaler_stats(self):
+        data = np.random.default_rng(2).normal(size=(200, 3)) * 4 + 7
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), np.zeros(3), atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), np.ones(3), atol=1e-9)
+
+    def test_standard_scaler_roundtrip(self):
+        data = np.random.default_rng(3).normal(size=(50, 2))
+        scaler = StandardScaler()
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.fit_transform(data)), data, atol=1e-9)
+
+    def test_fill_missing_interpolate(self):
+        column = np.array([1.0, np.nan, 3.0, np.nan, np.nan, 6.0])
+        filled = fill_missing(column)
+        np.testing.assert_allclose(filled, [1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+
+    def test_fill_missing_zero_and_mean(self):
+        data = np.array([[1.0, np.nan], [np.nan, 4.0]])
+        np.testing.assert_allclose(fill_missing(data, method="zero")[1, 0], 0.0)
+        np.testing.assert_allclose(fill_missing(data, method="mean")[0, 1], 4.0)
+
+    def test_fill_missing_all_nan_column(self):
+        data = np.full((5, 1), np.nan)
+        np.testing.assert_allclose(fill_missing(data), np.zeros((5, 1)))
+
+    def test_fill_missing_unknown_method(self):
+        with pytest.raises(ValueError):
+            fill_missing(np.zeros(3), method="magic")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=3, max_value=12),
+    st.integers(min_value=60, max_value=150),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_synthetic_dataset_invariants(num_variates, length, seed):
+    """Property test: any generated dataset satisfies the structural invariants."""
+    config = SyntheticConfig(
+        num_variates=num_variates,
+        train_length=length,
+        test_length=length,
+        num_noise_events=2,
+        num_anomaly_segments=2,
+        seed=seed,
+    )
+    ds = generate_synthetic(config)
+    assert ds.train.shape == (length, num_variates)
+    assert ds.test.shape == (length, num_variates)
+    assert set(np.unique(ds.test_labels)) <= {0, 1}
+    assert set(np.unique(ds.test_noise_mask)) <= {0, 1}
+    assert np.isfinite(ds.train).all()
+    assert np.isfinite(ds.test).all()
+    assert ds.test_labels.sum() > 0
+    assert 0.0 <= ds.anomaly_rate <= 1.0
+    assert 0.0 <= ds.noise_rate <= 1.0

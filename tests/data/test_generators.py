@@ -1,0 +1,185 @@
+"""Unit tests for signal generators, anomaly templates and noise injectors."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ANOMALY_TYPES,
+    NOISE_TYPES,
+    brightening_noise,
+    darkening_noise,
+    drift_noise,
+    eclipse_template,
+    eclipsing_binary_star,
+    flare_template,
+    gaussian_star,
+    inject_anomaly,
+    inject_concurrent_noise,
+    microlensing_template,
+    nova_template,
+    random_anomaly,
+    sample_period,
+    sinusoidal_star,
+    supernova_template,
+    trended_star,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestBaseSignals:
+    def test_gaussian_star_statistics(self):
+        curve = gaussian_star(5000, np.random.default_rng(1), std=0.2)
+        assert abs(curve.mean()) < 0.02
+        assert abs(curve.std() - 0.2) < 0.02
+
+    def test_gaussian_star_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            gaussian_star(0, RNG)
+
+    def test_sinusoidal_star_amplitude(self):
+        curve = sinusoidal_star(2000, np.random.default_rng(2), period=100, amplitude=2.0, noise_std=0.0)
+        assert abs(curve.max() - 2.0) < 0.01
+        assert abs(curve.min() + 2.0) < 0.01
+
+    def test_sinusoidal_star_periodicity(self):
+        curve = sinusoidal_star(600, np.random.default_rng(3), period=150, amplitude=2.0, noise_std=0.0, phase=0.0)
+        np.testing.assert_allclose(curve[:300], curve[300:], atol=1e-9)
+
+    def test_sample_period_range(self):
+        periods = [sample_period(RNG) for _ in range(100)]
+        assert all(100 <= p <= 300 for p in periods)
+
+    def test_sample_period_invalid_range(self):
+        with pytest.raises(ValueError):
+            sample_period(RNG, low=10, high=5)
+
+    def test_eclipsing_binary_has_dips(self):
+        curve = eclipsing_binary_star(1000, np.random.default_rng(4), period=100, depth=1.5, noise_std=0.0)
+        assert curve.min() == pytest.approx(-1.5)
+        assert (curve == -1.5).sum() > 50
+
+    def test_eclipsing_binary_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            eclipsing_binary_star(100, RNG, eclipse_fraction=0.9)
+
+    def test_trended_star_has_trend(self):
+        curve = trended_star(1000, np.random.default_rng(5), slope=0.01, noise_std=0.0)
+        assert curve[-1] - curve[0] == pytest.approx(0.01 * 999)
+
+
+class TestAnomalyTemplates:
+    def test_flare_shape(self):
+        template = flare_template(50, amplitude=2.0)
+        assert len(template) == 50
+        assert template.max() == pytest.approx(2.0, rel=0.05)
+        # The flare peaks early (fast rise, slow decay).
+        assert np.argmax(template) < 15
+
+    def test_flare_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            flare_template(1)
+        with pytest.raises(ValueError):
+            flare_template(10, amplitude=-1.0)
+
+    def test_microlensing_symmetric(self):
+        template = microlensing_template(51, amplitude=1.0)
+        np.testing.assert_allclose(template, template[::-1], atol=1e-9)
+        assert template.max() == pytest.approx(1.0)
+
+    def test_eclipse_is_a_dip(self):
+        template = eclipse_template(30, depth=1.5)
+        assert template.min() == pytest.approx(-1.5)
+        assert template.max() <= 0.0
+
+    def test_nova_fast_rise_slow_decline(self):
+        template = nova_template(60, amplitude=3.0)
+        assert template.max() == pytest.approx(3.0, rel=0.05)
+        assert np.argmax(template) < 10
+
+    def test_supernova_peak_position(self):
+        template = supernova_template(60, amplitude=2.5, peak_fraction=0.3)
+        assert 10 < np.argmax(template) < 30
+
+    def test_all_templates_have_requested_length(self):
+        for name, maker in ANOMALY_TYPES.items():
+            assert len(maker(37)) == 37, name
+
+    def test_random_anomaly_respects_ranges(self):
+        for _ in range(20):
+            kind, template = random_anomaly(RNG, length_range=(10, 20), amplitude_range=(1.0, 2.0))
+            assert kind in ANOMALY_TYPES
+            assert 10 <= len(template) <= 20
+            assert np.abs(template).max() <= 2.0 * 1.2
+
+    def test_inject_anomaly_marks_labels(self):
+        series = np.zeros((100, 3))
+        labels = np.zeros((100, 3), dtype=np.int64)
+        injection = inject_anomaly(series, labels, variate=1, start=10, template=np.ones(5), kind="flare")
+        assert labels[10:15, 1].all()
+        assert labels.sum() == 5
+        assert series[12, 1] == 1.0
+        assert injection.end == 15
+
+    def test_inject_anomaly_out_of_range(self):
+        series = np.zeros((10, 2))
+        labels = np.zeros((10, 2), dtype=np.int64)
+        with pytest.raises(ValueError):
+            inject_anomaly(series, labels, variate=0, start=8, template=np.ones(5))
+        with pytest.raises(ValueError):
+            inject_anomaly(series, labels, variate=5, start=0, template=np.ones(5))
+
+
+class TestConcurrentNoise:
+    def test_drift_noise_constant(self):
+        noise = drift_noise(10, magnitude=1.5, direction=-1)
+        np.testing.assert_allclose(noise, np.full(10, -1.5))
+
+    def test_drift_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            drift_noise(10, direction=0)
+
+    def test_darkening_dips_and_recovers(self):
+        noise = darkening_noise(21, depth=2.0)
+        assert noise.min() == pytest.approx(-2.0)
+        assert noise[0] == pytest.approx(0.0, abs=1e-9)
+        assert noise[-1] == pytest.approx(0.0, abs=1e-9)
+
+    def test_brightening_monotone_increase(self):
+        noise = brightening_noise(30, scale=1.5)
+        assert (np.diff(noise) >= 0).all()
+        assert noise[-1] == pytest.approx(1.5)
+
+    def test_noise_types_registry(self):
+        assert set(NOISE_TYPES) == {"drift", "darkening", "brightening"}
+
+    def test_inject_concurrent_noise_affects_selected_variates(self):
+        series = np.zeros((100, 6))
+        mask = np.zeros((100, 6), dtype=np.int64)
+        event = inject_concurrent_noise(
+            series, mask, np.random.default_rng(0), start=20, length=30,
+            variates=[1, 3, 5], kind="darkening", intensity=1.0,
+        )
+        assert set(event.variates) == {1, 3, 5}
+        assert mask[20:50, [1, 3, 5]].all()
+        assert mask[:, [0, 2, 4]].sum() == 0
+        assert np.abs(series[20:50, 1]).max() > 0.5
+
+    def test_inject_concurrent_noise_simultaneous_fluctuation(self):
+        series = np.zeros((60, 4))
+        mask = np.zeros((60, 4), dtype=np.int64)
+        inject_concurrent_noise(series, mask, np.random.default_rng(1), start=10, length=40,
+                                variates=[0, 1, 2, 3], kind="darkening", intensity=1.0)
+        # All affected stars dip at the same time (correlation close to 1).
+        correlation = np.corrcoef(series[10:50].T)
+        assert correlation.min() > 0.95
+
+    def test_inject_concurrent_noise_validation(self):
+        series = np.zeros((20, 2))
+        mask = np.zeros((20, 2), dtype=np.int64)
+        with pytest.raises(ValueError):
+            inject_concurrent_noise(series, mask, RNG, start=15, length=10, variates=[0], kind="drift")
+        with pytest.raises(ValueError):
+            inject_concurrent_noise(series, mask, RNG, start=0, length=5, variates=[], kind="drift")
+        with pytest.raises(ValueError):
+            inject_concurrent_noise(series, mask, RNG, start=0, length=5, variates=[0], kind="fog")

@@ -1,0 +1,163 @@
+"""Tests for the experiment harness (profiles, formatting, runners on the tiny profile)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_DATASETS,
+    ALL_METHODS,
+    EXPERIMENTS,
+    PROFILES,
+    build_method,
+    format_ablation_table,
+    format_performance_table,
+    format_series,
+    get_experiment,
+    get_profile,
+    graph_agreement,
+    load_dataset,
+    run_fig5,
+    run_fig8,
+    run_fig9,
+    run_method_on_dataset,
+    run_table1,
+    run_variant_on_dataset,
+)
+from repro.experiments.profiles import ExperimentProfile
+
+
+TINY = PROFILES["tiny"]
+
+
+class TestProfiles:
+    def test_profiles_exist(self):
+        assert set(PROFILES) == {"tiny", "fast", "full"}
+
+    def test_get_profile_default_and_env(self, monkeypatch):
+        assert get_profile("tiny").name == "tiny"
+        monkeypatch.setenv("REPRO_PROFILE", "tiny")
+        assert get_profile().name == "tiny"
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert get_profile().name == "fast"
+
+    def test_get_profile_unknown(self):
+        with pytest.raises(KeyError):
+            get_profile("gigantic")
+
+    def test_full_profile_matches_paper_settings(self):
+        config = PROFILES["full"].aero_config()
+        assert config.window == 200
+        assert config.short_window == 60
+        assert config.learning_rate == pytest.approx(1e-3)
+
+    def test_aero_config_overrides(self):
+        config = TINY.aero_config(d_model=8)
+        assert config.d_model == 8
+
+    def test_baseline_kwargs(self):
+        assert TINY.baseline_kwargs("SR") == {}
+        assert TINY.baseline_kwargs("GDN")["epochs"] == TINY.neural_epochs
+
+
+class TestDatasetsAndMethods:
+    def test_all_six_datasets_load(self):
+        for name in ALL_DATASETS:
+            ds = load_dataset(name, TINY)
+            assert ds.name == name
+            assert ds.test_labels.sum() > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("SyntheticGiant", TINY)
+
+    def test_build_every_method(self):
+        for name in ALL_METHODS:
+            assert build_method(name, TINY) is not None
+
+    def test_all_methods_has_twelve_entries(self):
+        assert len(ALL_METHODS) == 12
+        assert "AERO" in ALL_METHODS
+
+
+class TestFormatting:
+    def test_performance_table_contains_methods_and_numbers(self):
+        rows = [
+            {"method": "AERO", "dataset": "D1", "precision": 0.9, "recall": 1.0, "f1": 0.95},
+            {"method": "SR", "dataset": "D1", "precision": 0.5, "recall": 0.5, "f1": 0.5},
+        ]
+        text = format_performance_table(rows, ["D1"])
+        assert "AERO" in text and "SR" in text
+        assert "95.00" in text and "50.00" in text
+
+    def test_performance_table_missing_cell(self):
+        rows = [{"method": "AERO", "dataset": "D1", "precision": 1.0, "recall": 1.0, "f1": 1.0}]
+        text = format_performance_table(rows, ["D1", "D2"])
+        assert "-" in text
+
+    def test_ablation_table_uses_variant_names(self):
+        rows = [{"variant": "w/o temporal", "dataset": "D1", "precision": 0.1, "recall": 0.2, "f1": 0.13}]
+        assert "w/o temporal" in format_ablation_table(rows, ["D1"])
+
+    def test_format_series(self):
+        text = format_series("Fig. X", [1, 2], [0.5, 0.75], x_label="stars", y_label="seconds")
+        assert "Fig. X" in text and "stars" in text and "0.7500" in text
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        }
+
+    def test_get_experiment(self):
+        assert get_experiment("table2").paper_artifact == "Table II"
+        with pytest.raises(KeyError):
+            get_experiment("table9")
+
+
+class TestLightweightRunners:
+    def test_table1_rows_and_rendering(self):
+        rows, text = run_table1(profile=TINY)
+        assert len(rows) == 6
+        assert "SyntheticMiddle" in text
+        assert all(row["anomaly_pct"] > 0 for row in rows)
+
+    def test_fig5_templates(self):
+        curves = run_fig5(length=40)
+        assert set(curves) >= {"flare", "microlensing", "eclipse", "nova", "supernova"}
+        assert all(len(curve) == 40 for curve in curves.values())
+
+    def test_run_single_method_row(self):
+        dataset = load_dataset("SyntheticMiddle", TINY)
+        row = run_method_on_dataset("SPOT", dataset, TINY)
+        assert row["method"] == "SPOT"
+        assert 0.0 <= row["f1"] <= 1.0
+
+    def test_run_single_variant_row(self):
+        dataset = load_dataset("SyntheticMiddle", TINY)
+        row = run_variant_on_dataset("no_noise_module", dataset, TINY)
+        assert row["variant_id"] == "no_noise_module"
+        assert 0.0 <= row["f1"] <= 1.0
+
+    def test_graph_agreement_scores(self):
+        ground_truth = np.zeros((4, 4))
+        ground_truth[:2, :2] = 1.0
+        perfect = ground_truth.copy()
+        assert graph_agreement(perfect, ground_truth) > 0.9
+        uniform = np.ones((4, 4))
+        assert abs(graph_agreement(uniform, ground_truth)) < 1e-9
+
+    def test_fig8_learned_graphs(self):
+        result = run_fig8(dataset_name="SyntheticMiddle", num_snapshots=2, profile=TINY)
+        assert len(result["learned_graphs"]) >= 1
+        for graph in result["learned_graphs"]:
+            assert graph.shape == result["ground_truth_graph"].shape
+        assert len(result["agreements"]) == len(result["learned_graphs"])
+
+    def test_fig9_error_decomposition(self):
+        result = run_fig9(dataset_name="SyntheticMiddle", profile=TINY)
+        assert result["stage1_scores"].shape == result["final_scores"].shape
+        assert result["noise_error_reduction"] > 0
+        assert result["anomaly_error_retention"] >= 0
+        assert np.isfinite(result["threshold"])

@@ -1,0 +1,106 @@
+"""Integration tests: the full pipeline from data generation to evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import AeroConfig, AeroDetector, build_variant
+from repro.data import SyntheticConfig, generate_synthetic, load_astroset
+from repro.evaluation import best_f1_evaluation
+from repro.experiments import PROFILES, run_method_on_dataset, load_dataset
+
+TINY = PROFILES["tiny"]
+
+FAST_CONFIG = AeroConfig.fast(window=24, short_window=8).scaled(
+    max_epochs_stage1=8, max_epochs_stage2=5, learning_rate=5e-3,
+    d_model=8, num_heads=2, train_stride=4, batch_size=8,
+)
+
+
+def concurrent_noise_dataset(seed=31):
+    """A dataset with a prominent anomaly and strong concurrent noise."""
+    config = SyntheticConfig(
+        num_variates=8,
+        train_length=220,
+        test_length=220,
+        num_noise_events=4,
+        num_anomaly_segments=2,
+        noise_variate_fraction=0.75,
+        seed=seed,
+    )
+    return generate_synthetic(config)
+
+
+class TestAeroEndToEnd:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        dataset = concurrent_noise_dataset()
+        detector = AeroDetector(FAST_CONFIG)
+        detector.fit(dataset.train)
+        report = detector.evaluate(dataset.test, dataset.test_labels)
+        return dataset, detector, report
+
+    def test_training_converges(self, trained):
+        _, detector, _ = trained
+        history = detector.history
+        assert history.stage1_losses[-1] < history.stage1_losses[0]
+
+    def test_anomalies_score_above_normal_points(self, trained):
+        dataset, _, report = trained
+        scores = report.test_scores
+        anomaly = dataset.test_labels.astype(bool)
+        normal = ~anomaly & ~dataset.test_noise_mask.astype(bool)
+        assert scores[anomaly].mean() > scores[normal].mean()
+
+    def test_noise_module_suppresses_concurrent_noise(self, trained):
+        """The central claim of the paper: stage 2 lowers scores on noise points."""
+        dataset, detector, report = trained
+        noise_only = dataset.test_noise_mask.astype(bool) & ~dataset.test_labels.astype(bool)
+        # Temporal-only scores for comparison.
+        noise_module = detector.model.noise
+        detector.model.noise = None
+        try:
+            stage1_scores = detector.score(dataset.test)
+        finally:
+            detector.model.noise = noise_module
+        full_scores = report.test_scores
+        assert full_scores[noise_only].mean() < stage1_scores[noise_only].mean()
+
+    def test_detection_quality_is_reasonable(self, trained):
+        dataset, _, report = trained
+        best, _ = best_f1_evaluation(report.test_scores, dataset.test_labels)
+        assert best.f1 > 0.3
+
+    def test_pot_labels_shape_and_type(self, trained):
+        dataset, detector, _ = trained
+        labels = detector.detect(dataset.test)
+        assert labels.shape == dataset.test.shape
+        assert labels.dtype == np.int64
+
+
+class TestVariantComparison:
+    def test_full_model_beats_or_matches_multivariate_input_variant(self):
+        dataset = concurrent_noise_dataset(seed=37)
+        full = AeroDetector(FAST_CONFIG)
+        full.fit(dataset.train)
+        full_best, _ = best_f1_evaluation(full.score(dataset.test), dataset.test_labels)
+
+        variant = build_variant("no_univariate_input", FAST_CONFIG)
+        variant.fit(dataset.train)
+        variant_best, _ = best_f1_evaluation(variant.score(dataset.test), dataset.test_labels)
+        assert full_best.f1 >= variant_best.f1 - 0.15
+
+
+class TestRealWorldPipeline:
+    def test_gwac_dataset_with_aero(self):
+        dataset = load_astroset("AstrosetLow", scale=0.04)
+        detector = AeroDetector(FAST_CONFIG)
+        detector.fit(dataset.train, dataset.train_timestamps)
+        report = detector.evaluate(dataset.test, dataset.test_labels, dataset.test_timestamps)
+        assert 0.0 <= report.outcome.result.f1 <= 1.0
+        assert np.isfinite(report.test_scores).all()
+
+    def test_harness_runs_statistical_method_on_real_dataset(self):
+        dataset = load_dataset("AstrosetMiddle", TINY)
+        row = run_method_on_dataset("SR", dataset, TINY)
+        assert row["dataset"] == "AstrosetMiddle"
+        assert 0.0 <= row["f1"] <= 1.0

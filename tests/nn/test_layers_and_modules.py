@@ -1,0 +1,266 @@
+"""Unit tests for layers, the module system, optimizers, losses and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dropout,
+    Embedding,
+    FeedForward,
+    GELU,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    SGD,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+    clip_grad_norm,
+    gaussian_nll,
+    huber_loss,
+    kl_divergence_normal,
+    load_module,
+    mae_loss,
+    mse_loss,
+    save_module,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(4, 3, rng=RNG)
+        assert layer(Tensor(np.zeros((5, 4)))).shape == (5, 3)
+
+    def test_batched_input(self):
+        layer = Linear(4, 3, rng=RNG)
+        assert layer(Tensor(np.zeros((2, 7, 4)))).shape == (2, 7, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=RNG)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_matches_manual_computation(self):
+        layer = Linear(2, 2, rng=RNG)
+        x = np.array([[1.0, 2.0]])
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        layer = LayerNorm(8)
+        out = layer(Tensor(RNG.normal(size=(3, 8)) * 10 + 5)).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(3), atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(3), atol=1e-2)
+
+    def test_learnable_affine(self):
+        layer = LayerNorm(4)
+        layer.gamma.data = np.full(4, 2.0)
+        layer.beta.data = np.full(4, 1.0)
+        out = layer(Tensor(RNG.normal(size=(2, 4)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), np.ones(2), atol=1e-6)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = RNG.normal(size=(4, 4))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_train_mode_zeroes_some_entries(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((100, 10)))).data
+        assert (out == 0).any()
+        # Inverted dropout keeps the expectation approximately constant.
+        assert abs(out.mean() - 1.0) < 0.1
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestActivationsAndContainers:
+    def test_activation_wrappers(self):
+        x = Tensor(np.array([-1.0, 0.0, 1.0]))
+        assert (ReLU()(x).data >= 0).all()
+        assert np.isfinite(GELU()(x).data).all()
+        assert (np.abs(Tanh()(x).data) <= 1).all()
+        assert ((Sigmoid()(x).data > 0) & (Sigmoid()(x).data < 1)).all()
+
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Linear(3, 5, rng=RNG), ReLU(), Linear(5, 2, rng=RNG))
+        assert model(Tensor(np.zeros((4, 3)))).shape == (4, 2)
+        assert len(model) == 3
+
+    def test_feed_forward_shapes_and_activations(self):
+        for activation in ("relu", "gelu", "tanh"):
+            ff = FeedForward(6, 12, activation=activation, rng=RNG)
+            assert ff(Tensor(np.zeros((2, 6)))).shape == (2, 6)
+
+    def test_feed_forward_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            FeedForward(4, activation="swish")
+
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, rng=RNG)
+        out = emb([1, 3, 3])
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[1], out.data[2])
+
+
+class TestModuleSystem:
+    def test_parameters_discovered_recursively(self):
+        model = Sequential(Linear(3, 4, rng=RNG), Linear(4, 2, rng=RNG))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4
+        assert any("layers.0.weight" in name for name in names)
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4, rng=RNG)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.2), Linear(2, 2, rng=RNG))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=RNG)
+        loss = layer(Tensor(np.ones((1, 2)))).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_state_dict_roundtrip(self):
+        source = Linear(3, 3, rng=np.random.default_rng(1))
+        target = Linear(3, 3, rng=np.random.default_rng(2))
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(source.weight.data, target.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        layer = Linear(3, 3, rng=RNG)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_load_state_dict_missing_key(self):
+        layer = Linear(3, 3, rng=RNG)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": layer.weight.data})
+
+    def test_parameter_always_requires_grad(self):
+        from repro.nn import no_grad
+
+        with no_grad():
+            param = Parameter(np.zeros(3))
+        assert param.requires_grad
+
+
+class TestSerialization:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        model = Sequential(Linear(3, 4, rng=np.random.default_rng(5)), Linear(4, 1, rng=np.random.default_rng(6)))
+        path = save_module(model, tmp_path / "model.npz")
+        fresh = Sequential(Linear(3, 4, rng=np.random.default_rng(7)), Linear(4, 1, rng=np.random.default_rng(8)))
+        load_module(fresh, path)
+        for (_, a), (_, b) in zip(model.named_parameters(), fresh.named_parameters()):
+            np.testing.assert_allclose(a.data, b.data)
+
+
+class TestOptimizers:
+    def _make_regression(self, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(128, 3))
+        w = np.array([[1.0], [-2.0], [0.5]])
+        return X, X @ w
+
+    def test_sgd_reduces_loss(self):
+        X, Y = self._make_regression()
+        layer = Linear(3, 1, rng=np.random.default_rng(1))
+        opt = SGD(layer.parameters(), lr=0.05, momentum=0.9)
+        first = None
+        for _ in range(100):
+            loss = mse_loss(layer(Tensor(X)), Tensor(Y))
+            first = first if first is not None else loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.01
+
+    def test_adam_reduces_loss(self):
+        X, Y = self._make_regression(seed=2)
+        layer = Linear(3, 1, rng=np.random.default_rng(3))
+        opt = Adam(layer.parameters(), lr=0.05)
+        for _ in range(200):
+            loss = mse_loss(layer(Tensor(X)), Tensor(Y))
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-3
+
+    def test_weight_decay_shrinks_weights(self):
+        layer = Linear(2, 2, rng=RNG)
+        layer.weight.data = np.ones((2, 2))
+        opt = SGD(layer.parameters(), lr=0.1, weight_decay=1.0)
+        loss = (layer(Tensor(np.zeros((1, 2)))) * 0.0).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+        assert (np.abs(layer.weight.data) < 1.0).all()
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_negative_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SGD(Linear(2, 2, rng=RNG).parameters(), lr=-1.0)
+
+    def test_clip_grad_norm(self):
+        layer = Linear(2, 2, rng=RNG)
+        (layer(Tensor(np.ones((1, 2)) * 100)).sum()).backward()
+        norm_before = clip_grad_norm(layer.parameters(), max_norm=1.0)
+        assert norm_before > 1.0
+        total = np.sqrt(sum(float((p.grad ** 2).sum()) for p in layer.parameters() if p.grad is not None))
+        assert total <= 1.0 + 1e-8
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self):
+        x = Tensor(RNG.normal(size=(3, 3)))
+        assert mse_loss(x, x.copy()).item() == pytest.approx(0.0)
+
+    def test_mse_value(self):
+        assert mse_loss(Tensor([1.0, 2.0]), Tensor([3.0, 2.0])).item() == pytest.approx(2.0)
+
+    def test_mae_value(self):
+        assert mae_loss(Tensor([1.0, 5.0]), Tensor([2.0, 2.0])).item() == pytest.approx(2.0)
+
+    def test_huber_between_mae_and_mse(self):
+        prediction = Tensor([0.0, 10.0])
+        target = Tensor([0.0, 0.0])
+        value = huber_loss(prediction, target, delta=1.0).item()
+        assert 0.0 < value < mse_loss(prediction, target).item()
+
+    def test_kl_divergence_zero_for_standard_normal(self):
+        mean = Tensor(np.zeros((2, 3)))
+        log_var = Tensor(np.zeros((2, 3)))
+        assert kl_divergence_normal(mean, log_var).item() == pytest.approx(0.0)
+
+    def test_gaussian_nll_decreases_when_prediction_matches(self):
+        target = Tensor(np.zeros((4,)))
+        good = gaussian_nll(target, Tensor(np.zeros(4)), Tensor(np.zeros(4)))
+        bad = gaussian_nll(target, Tensor(np.full(4, 3.0)), Tensor(np.zeros(4)))
+        assert good.item() < bad.item()

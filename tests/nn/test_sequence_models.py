@@ -1,0 +1,234 @@
+"""Unit tests for attention, Transformer blocks, recurrent, graph and conv layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv1d,
+    Conv2d,
+    GCNLayer,
+    GRU,
+    GRUCell,
+    GraphAttentionLayer,
+    LSTM,
+    LSTMCell,
+    MultiHeadAttention,
+    Tensor,
+    TransformerDecoder,
+    TransformerDecoderLayer,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    mse_loss,
+    normalize_adjacency,
+    scaled_dot_product_attention,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestAttention:
+    def test_scaled_dot_product_shapes(self):
+        q = Tensor(RNG.normal(size=(2, 5, 8)))
+        out = scaled_dot_product_attention(q, q, q)
+        assert out.shape == (2, 5, 8)
+
+    def test_attention_weights_sum_to_one(self):
+        q = Tensor(RNG.normal(size=(2, 5, 8)))
+        _, weights = scaled_dot_product_attention(q, q, q, return_weights=True)
+        np.testing.assert_allclose(weights.data.sum(axis=-1), np.ones((2, 5)), atol=1e-10)
+
+    def test_attention_mask_excludes_positions(self):
+        q = Tensor(RNG.normal(size=(1, 4, 8)))
+        mask = np.zeros((1, 4, 4), dtype=bool)
+        mask[:, :, -1] = True
+        _, weights = scaled_dot_product_attention(q, q, q, mask=mask, return_weights=True)
+        np.testing.assert_allclose(weights.data[:, :, -1], np.zeros((1, 4)), atol=1e-6)
+
+    def test_multi_head_attention_shape(self):
+        mha = MultiHeadAttention(d_model=8, num_heads=2, rng=RNG)
+        x = Tensor(RNG.normal(size=(3, 6, 8)))
+        assert mha(x, x, x).shape == (3, 6, 8)
+
+    def test_multi_head_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(d_model=10, num_heads=3)
+
+    def test_last_attention_stored(self):
+        mha = MultiHeadAttention(d_model=8, num_heads=2, rng=RNG)
+        x = Tensor(RNG.normal(size=(1, 4, 8)))
+        mha(x, x, x)
+        assert mha.last_attention.shape == (1, 2, 4, 4)
+
+    def test_attention_gradients_flow(self):
+        mha = MultiHeadAttention(d_model=8, num_heads=2, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 4, 8)))
+        loss = mse_loss(mha(x, x, x), Tensor(np.zeros((2, 4, 8))))
+        loss.backward()
+        assert all(p.grad is not None for p in mha.parameters())
+
+
+class TestTransformerBlocks:
+    def test_encoder_layer_shape(self):
+        layer = TransformerEncoderLayer(d_model=8, num_heads=2, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 6, 8)))
+        assert layer(x).shape == (2, 6, 8)
+
+    def test_decoder_layer_uses_memory(self):
+        enc = TransformerEncoderLayer(d_model=8, num_heads=2, rng=RNG)
+        dec = TransformerDecoderLayer(d_model=8, num_heads=2, rng=RNG)
+        memory = enc(Tensor(RNG.normal(size=(2, 10, 8))))
+        out = dec(Tensor(RNG.normal(size=(2, 4, 8))), memory)
+        assert out.shape == (2, 4, 8)
+
+    def test_stacked_encoder_decoder(self):
+        encoder = TransformerEncoder(d_model=8, num_heads=2, num_layers=2, rng=RNG)
+        decoder = TransformerDecoder(d_model=8, num_heads=2, num_layers=2, rng=RNG)
+        memory = encoder(Tensor(RNG.normal(size=(1, 7, 8))))
+        assert decoder(Tensor(RNG.normal(size=(1, 3, 8))), memory).shape == (1, 3, 8)
+
+    def test_encoder_gradients_flow(self):
+        encoder = TransformerEncoder(d_model=8, num_heads=2, num_layers=1, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 5, 8)))
+        mse_loss(encoder(x), Tensor(np.zeros((2, 5, 8)))).backward()
+        assert all(p.grad is not None for p in encoder.parameters())
+
+    def test_encoder_can_overfit_small_mapping(self):
+        from repro.nn import Adam, Linear
+
+        rng = np.random.default_rng(1)
+        encoder = TransformerEncoderLayer(d_model=4, num_heads=2, rng=rng)
+        head = Linear(4, 1, rng=rng)
+        x = rng.normal(size=(8, 5, 4))
+        target = x.sum(axis=(1, 2), keepdims=True).reshape(8, 1, 1) * 0.05
+        params = encoder.parameters() + head.parameters()
+        opt = Adam(params, lr=0.01)
+        losses = []
+        for _ in range(60):
+            out = head(encoder(Tensor(x))).mean(axis=1, keepdims=True)
+            loss = mse_loss(out, Tensor(target))
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
+
+
+class TestRecurrent:
+    def test_gru_cell_shape(self):
+        cell = GRUCell(3, 5, rng=RNG)
+        hidden = cell(Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 5))))
+        assert hidden.shape == (2, 5)
+
+    def test_gru_sequence_shapes(self):
+        gru = GRU(3, 5, rng=RNG)
+        outputs, final = gru(Tensor(RNG.normal(size=(2, 7, 3))))
+        assert outputs.shape == (2, 7, 5)
+        assert final.shape == (2, 5)
+
+    def test_gru_final_state_matches_last_output(self):
+        gru = GRU(3, 5, rng=RNG)
+        outputs, final = gru(Tensor(RNG.normal(size=(2, 7, 3))))
+        np.testing.assert_allclose(outputs.data[:, -1, :], final.data)
+
+    def test_lstm_cell_shapes(self):
+        cell = LSTMCell(3, 4, rng=RNG)
+        hidden, state = cell(Tensor(np.zeros((2, 3))), Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 4))))
+        assert hidden.shape == (2, 4)
+        assert state.shape == (2, 4)
+
+    def test_lstm_sequence(self):
+        lstm = LSTM(3, 4, rng=RNG)
+        outputs, (hidden, cell) = lstm(Tensor(RNG.normal(size=(2, 6, 3))))
+        assert outputs.shape == (2, 6, 4)
+        assert hidden.shape == (2, 4)
+        assert cell.shape == (2, 4)
+
+    def test_gru_gradients_flow(self):
+        gru = GRU(2, 3, rng=RNG)
+        outputs, _ = gru(Tensor(RNG.normal(size=(2, 4, 2))))
+        outputs.sum().backward()
+        assert all(p.grad is not None for p in gru.parameters())
+
+
+class TestGraphLayers:
+    def test_normalize_adjacency_rows(self):
+        adjacency = np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        normalized = normalize_adjacency(adjacency)
+        np.testing.assert_allclose(normalized.sum(axis=1), np.ones(3), atol=1e-6)
+
+    def test_normalize_adjacency_removes_self_loops(self):
+        adjacency = np.eye(3) + np.ones((3, 3))
+        normalized = normalize_adjacency(adjacency, remove_self_loops=True)
+        np.testing.assert_allclose(np.diag(normalized), np.zeros(3))
+
+    def test_normalize_adjacency_isolated_node(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        normalized = normalize_adjacency(adjacency)
+        np.testing.assert_allclose(normalized[2], np.zeros(3))
+
+    def test_normalize_adjacency_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalize_adjacency(np.zeros((2, 3)))
+
+    def test_gcn_layer_shape_and_gradient(self):
+        gcn = GCNLayer(4, 4, activation="identity", rng=RNG)
+        adjacency = normalize_adjacency(np.ones((5, 5)), remove_self_loops=True)
+        out = gcn(Tensor(RNG.normal(size=(5, 4))), adjacency)
+        assert out.shape == (5, 4)
+        out.sum().backward()
+        assert gcn.weight.grad is not None
+
+    def test_gcn_activations(self):
+        adjacency = normalize_adjacency(np.ones((3, 3)))
+        x = Tensor(RNG.normal(size=(3, 2)))
+        for activation in ("sigmoid", "relu", "tanh", "identity"):
+            assert GCNLayer(2, 2, activation=activation, rng=RNG)(x, adjacency).shape == (3, 2)
+
+    def test_gcn_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            GCNLayer(2, 2, activation="softplus")
+
+    def test_gcn_isolated_node_output_is_bias_only(self):
+        gcn = GCNLayer(2, 2, activation="identity", rng=RNG)
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        normalized = normalize_adjacency(adjacency, remove_self_loops=True)
+        out = gcn(Tensor(RNG.normal(size=(3, 2))), normalized)
+        np.testing.assert_allclose(out.data[2], gcn.bias.data)
+
+    def test_graph_attention_shape(self):
+        layer = GraphAttentionLayer(4, 6, rng=RNG)
+        adjacency = (RNG.random((5, 5)) > 0.5).astype(float)
+        out = layer(Tensor(RNG.normal(size=(5, 4))), adjacency)
+        assert out.shape == (5, 6)
+
+
+class TestConvolutions:
+    def test_conv1d_same_length(self):
+        conv = Conv1d(2, 3, kernel_size=3, rng=RNG)
+        out = conv(Tensor(RNG.normal(size=(4, 2, 10))))
+        assert out.shape == (4, 3, 10)
+
+    def test_conv1d_channel_mismatch(self):
+        conv = Conv1d(2, 3, kernel_size=3, rng=RNG)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 5, 10))))
+
+    def test_conv1d_matches_manual_on_identity_kernel(self):
+        conv = Conv1d(1, 1, kernel_size=1, rng=RNG)
+        conv.weight.data = np.ones((1, 1))
+        conv.bias.data = np.zeros(1)
+        x = RNG.normal(size=(1, 1, 7))
+        np.testing.assert_allclose(conv(Tensor(x)).data, x)
+
+    def test_conv2d_same_spatial_shape(self):
+        conv = Conv2d(2, 4, kernel_size=3, rng=RNG)
+        out = conv(Tensor(RNG.normal(size=(2, 2, 6, 5))))
+        assert out.shape == (2, 4, 6, 5)
+
+    def test_conv2d_gradients_flow(self):
+        conv = Conv2d(1, 2, kernel_size=3, rng=RNG)
+        out = conv(Tensor(RNG.normal(size=(1, 1, 4, 4))))
+        out.sum().backward()
+        assert conv.weight.grad is not None

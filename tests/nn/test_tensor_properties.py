@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the autodiff engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=st.tuples(st.integers(1, max_side), st.integers(1, max_side)),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_commutative(values):
+    a, b = Tensor(values), Tensor(values * 0.5 + 1.0)
+    np.testing.assert_allclose((a + b).data, (b + a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mul_matches_numpy(values):
+    result = (Tensor(values) * Tensor(values)).data
+    np.testing.assert_allclose(result, values * values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_matches_numpy(values):
+    np.testing.assert_allclose(Tensor(values).sum().item(), values.sum(), rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mean_matches_numpy(values):
+    np.testing.assert_allclose(Tensor(values).mean().item(), values.mean(), rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_softmax_is_probability_distribution(values):
+    out = Tensor(values).softmax(axis=-1).data
+    assert (out >= 0).all()
+    np.testing.assert_allclose(out.sum(axis=-1), np.ones(values.shape[0]), atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sigmoid_bounded(values):
+    out = Tensor(values).sigmoid().data
+    assert ((out > 0) & (out < 1)).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_non_negative_and_idempotent(values):
+    once = Tensor(values).relu()
+    twice = once.relu()
+    assert (once.data >= 0).all()
+    np.testing.assert_allclose(once.data, twice.data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_reshape_preserves_values(values):
+    flat = Tensor(values).reshape(values.size)
+    np.testing.assert_allclose(np.sort(flat.data), np.sort(values.ravel()))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_transpose_involutive(values):
+    t = Tensor(values)
+    np.testing.assert_allclose(t.T.T.data, values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_side=3))
+def test_sum_gradient_is_ones(values):
+    t = Tensor(values, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_allclose(t.grad, np.ones_like(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_side=3))
+def test_linear_combination_gradient(values):
+    t = Tensor(values, requires_grad=True)
+    (t * 3.0 + 1.0).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(values, 3.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_side=3), small_arrays(max_side=3))
+def test_concat_then_split_preserves_data(a, b):
+    if a.shape[0] != b.shape[0]:
+        b = np.resize(b, (a.shape[0], b.shape[1]))
+    out = Tensor.concat([Tensor(a), Tensor(b)], axis=1)
+    np.testing.assert_allclose(out.data[:, : a.shape[1]], a)
+    np.testing.assert_allclose(out.data[:, a.shape[1]:], b)
