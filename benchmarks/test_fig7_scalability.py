@@ -4,6 +4,8 @@ Expected shape (as in the paper): both memory and inference time grow with the
 number of stars for every method, roughly linearly over the tested range.
 """
 
+import pytest
+
 from conftest import run_once
 
 from repro.experiments import format_series, run_fig7
@@ -12,6 +14,7 @@ DEFAULT_METHODS = ("AERO", "GDN", "SR")
 DEFAULT_STAR_COUNTS = (8, 16, 32)
 
 
+@pytest.mark.slow
 def test_fig7_scalability(benchmark, profile, full_grid):
     methods = ("AERO", "AnomalyTransformer", "TranAD", "GDN", "ESG", "TimesNet", "SR") if full_grid else DEFAULT_METHODS
     star_counts = (24, 48, 96, 192) if full_grid else DEFAULT_STAR_COUNTS

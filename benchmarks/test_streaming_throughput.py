@@ -1,0 +1,109 @@
+"""Benchmark S1 — streaming serving: per-step latency vs naive batch re-scoring.
+
+The naive online deployment of the batch detector re-runs ``score()`` on the
+full accumulated series every time a new timestamp arrives — O(T) windows per
+step.  The streaming path scores exactly one window per step, and the fleet
+path amortises the remaining per-call overhead across shards with one
+vectorised model call per exposure.  This benchmark measures all three on the
+same mid-night serving scenario and enforces the acceptance criterion that
+streaming is at least 10x faster per step than naive re-scoring.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core import AeroConfig, AeroDetector
+from repro.data import load_synthetic
+from repro.streaming import AlertPolicy, FleetManager, StreamingService
+
+HISTORY = 120          # test rows already observed when timing starts
+STEPS = 40             # arriving timestamps to serve
+NUM_SHARDS = 8
+
+
+def _fit_detector():
+    config = AeroConfig(
+        window=24, short_window=8, d_model=16, num_heads=2,
+        train_stride=3, max_epochs_stage1=4, max_epochs_stage2=3,
+        batch_size=16, learning_rate=5e-3,
+    )
+    dataset = load_synthetic("SyntheticMiddle", scale=0.05)
+    detector = AeroDetector(config)
+    detector.fit(dataset.train, dataset.train_timestamps)
+    return detector, dataset
+
+
+def _run_serving_comparison():
+    detector, dataset = _fit_detector()
+    test = dataset.test
+    assert test.shape[0] >= HISTORY + STEPS
+
+    # --- naive: re-run the batch scorer on the full history per new point --
+    naive_scores = []
+    started = time.perf_counter()
+    for step in range(STEPS):
+        scores = detector.score(test[: HISTORY + step + 1])
+        naive_scores.append(scores[-1])
+    naive_seconds = time.perf_counter() - started
+
+    # --- streaming: one window per arriving timestamp ----------------------
+    stream = detector.stream()
+    for row in test[:HISTORY]:
+        stream.step(row)
+    stream_scores = []
+    started = time.perf_counter()
+    for row in test[HISTORY : HISTORY + STEPS]:
+        stream_scores.append(stream.step(row).scores)
+    stream_seconds = time.perf_counter() - started
+
+    # --- fleet: NUM_SHARDS fields served by one model call per exposure ----
+    fleet = FleetManager(detector, num_shards=NUM_SHARDS, alert_policy=AlertPolicy())
+    service = StreamingService(fleet)
+    for row in test[:HISTORY]:
+        service.submit(np.broadcast_to(row, (NUM_SHARDS, len(row))))
+        service.drain()
+    fleet_started = time.perf_counter()
+    for row in test[HISTORY : HISTORY + STEPS]:
+        service.submit(np.broadcast_to(row, (NUM_SHARDS, len(row))))
+        service.drain()
+    fleet_seconds = time.perf_counter() - fleet_started
+
+    return {
+        "num_variates": dataset.num_variates,
+        "naive_step_ms": 1e3 * naive_seconds / STEPS,
+        "stream_step_ms": 1e3 * stream_seconds / STEPS,
+        "fleet_step_ms": 1e3 * fleet_seconds / STEPS,
+        "speedup": naive_seconds / stream_seconds,
+        "naive_stars_per_sec": dataset.num_variates * STEPS / naive_seconds,
+        "stream_stars_per_sec": dataset.num_variates * STEPS / stream_seconds,
+        "fleet_stars_per_sec": fleet.num_stars * STEPS / fleet_seconds,
+        "naive_scores": np.stack(naive_scores),
+        "stream_scores": np.stack(stream_scores),
+        "service_stats": service.stats(),
+    }
+
+
+def test_streaming_throughput(benchmark, profile):
+    result = run_once(benchmark, _run_serving_comparison)
+
+    print()
+    print(f"{'path':<12}{'per-step latency':>18}{'stars/sec':>14}")
+    print("-" * 44)
+    print(f"{'naive':<12}{result['naive_step_ms']:>15.2f} ms{result['naive_stars_per_sec']:>14,.0f}")
+    print(f"{'streaming':<12}{result['stream_step_ms']:>15.2f} ms{result['stream_stars_per_sec']:>14,.0f}")
+    print(f"{'fleet x8':<12}{result['fleet_step_ms']:>15.2f} ms{result['fleet_stars_per_sec']:>14,.0f}")
+    print(f"streaming speedup over naive re-scoring: {result['speedup']:.1f}x")
+    print(f"service: {result['service_stats'].format()}")
+
+    # Same inputs, same model: the serving paths must agree on the scores.
+    np.testing.assert_allclose(
+        result["stream_scores"], result["naive_scores"], rtol=0, atol=1e-10
+    )
+    # Acceptance criterion: incremental serving is >= 10x naive re-scoring.
+    assert result["speedup"] >= 10.0
+    # The fleet serves NUM_SHARDS x more stars; per-step cost must grow far
+    # more slowly than the shard count (vectorisation pays off).
+    assert result["fleet_stars_per_sec"] > result["stream_stars_per_sec"]

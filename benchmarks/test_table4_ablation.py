@@ -5,11 +5,14 @@ input, or removing the concurrent-noise module causes the largest drops, and
 the window-wise graph beats static/dynamic graph replacements.
 """
 
+import pytest
+
 from conftest import run_once
 
 from repro.experiments import ABLATION_DATASETS, format_ablation_table, run_ablation
 
 
+@pytest.mark.slow
 def test_table4_ablation(benchmark, profile, full_grid):
     datasets = ABLATION_DATASETS if full_grid else ("SyntheticMiddle",)
     rows = run_once(benchmark, run_ablation, datasets, None, profile)

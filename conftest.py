@@ -10,3 +10,6 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+# The ``slow`` benchmark marker is registered in pyproject.toml
+# ([tool.pytest.ini_options]); deselect in CI with ``-m "not slow"``.

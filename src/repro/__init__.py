@@ -14,8 +14,16 @@ Astronomical Observations" (ICDE 2024).  The package layers:
 from .core import AeroConfig, AeroDetector, AeroModel, build_variant
 from .data import AstroDataset, load_astroset, load_synthetic
 from .evaluation import evaluate_scores, pot_threshold, precision_recall_f1
+from .streaming import (
+    AlertPolicy,
+    FleetManager,
+    IncrementalPOT,
+    RingBuffer,
+    StreamingDetector,
+    StreamingService,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AeroConfig",
@@ -28,5 +36,11 @@ __all__ = [
     "evaluate_scores",
     "pot_threshold",
     "precision_recall_f1",
+    "AlertPolicy",
+    "FleetManager",
+    "IncrementalPOT",
+    "RingBuffer",
+    "StreamingDetector",
+    "StreamingService",
     "__version__",
 ]

@@ -181,6 +181,41 @@ class AeroDetector:
             scores[:first] = scores[first]
         return scores
 
+    def score_windows(
+        self,
+        long_windows: np.ndarray,
+        short_windows: np.ndarray,
+        long_times: np.ndarray | None = None,
+        short_times: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Score a batch of already-normalised windows; returns ``(batch, N)``.
+
+        This is the reusable single-step core of Algorithm 2: one forward
+        pass over explicit ``(batch, N, W)`` long windows and ``(batch, N,
+        omega)`` short windows, with no re-windowing of the full series.  The
+        streaming subsystem (:mod:`repro.streaming`) builds its incremental
+        path on top of this method.
+        """
+        model = self._require_fitted()
+        result = model(long_windows, short_windows, long_times, short_times)
+        return result.scores
+
+    def window_context(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """The scaled training tail (and its timestamps) used as scoring context.
+
+        ``score()`` prepends the last ``W - 1`` training rows so the first test
+        point already has a full window; a :class:`repro.streaming.StreamingDetector`
+        seeds its ring buffer with exactly this context for equivalence.
+        """
+        self._require_fitted()
+        return self._train_tail, self._train_tail_times
+
+    def stream(self, **kwargs) -> "object":
+        """Create a :class:`repro.streaming.StreamingDetector` over this detector."""
+        from ..streaming import StreamingDetector
+
+        return StreamingDetector(self, **kwargs)
+
     def score(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
         """Anomaly scores for every point of ``series`` (shape ``(T, N)``)."""
         self._require_fitted()

@@ -214,6 +214,21 @@ def generate_gwac(config: GwacConfig) -> AstroDataset:
     )
 
 
+def _scaled_length_range(length_range: tuple[int, int], scale: float, minimum: int) -> tuple[int, int]:
+    """Scale an event-length range together with the series length.
+
+    Without this, a preset tuned for thousands of points (e.g. noise events of
+    40-120 samples) dominates a series scaled down to a few hundred points,
+    pushing the Table I noise/anomaly rates far outside the paper's range.
+    """
+    if scale >= 1.0:
+        return length_range
+    low, high = length_range
+    low = max(minimum, int(round(low * scale)))
+    high = max(low + 1, int(round(high * scale)))
+    return (low, high)
+
+
 def load_astroset(name: str = "AstrosetMiddle", scale: float = 1.0, seed: int | None = None) -> AstroDataset:
     """Load one of the GWAC-like preset datasets, optionally scaled down."""
     if name not in ASTROSET_PRESETS:
@@ -230,9 +245,9 @@ def load_astroset(name: str = "AstrosetMiddle", scale: float = 1.0, seed: int | 
         gap_probability=preset.gap_probability,
         gap_scale_seconds=preset.gap_scale_seconds,
         num_noise_events=max(int(round(preset.num_noise_events * max(scale, 0.3))), 2),
-        noise_length_range=preset.noise_length_range,
+        noise_length_range=_scaled_length_range(preset.noise_length_range, scale, minimum=6),
         num_anomaly_segments=max(int(round(preset.num_anomaly_segments * max(scale, 0.5))), 2),
-        anomaly_length_range=preset.anomaly_length_range,
+        anomaly_length_range=_scaled_length_range(preset.anomaly_length_range, scale, minimum=3),
         photometric_noise_range=preset.photometric_noise_range,
         seed=preset.seed if seed is None else seed,
     )

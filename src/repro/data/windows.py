@@ -16,11 +16,15 @@ import numpy as np
 __all__ = ["sliding_windows", "WindowDataset", "WindowBatch"]
 
 
-def sliding_windows(series: np.ndarray, window: int, stride: int = 1) -> np.ndarray:
+def sliding_windows(series: np.ndarray, window: int, stride: int = 1, copy: bool = True) -> np.ndarray:
     """Return all windows of ``window`` consecutive rows of ``series``.
 
     Output shape is ``(num_windows, window, N)`` for a 2-D input or
-    ``(num_windows, window)`` for a 1-D input.
+    ``(num_windows, window)`` for a 1-D input.  The windows are materialised
+    through a strided view rather than a Python-level loop; pass
+    ``copy=False`` to receive the read-only zero-copy view directly (the
+    streaming subsystem's :class:`repro.streaming.RingBuffer` relies on the
+    same trick for O(1) window extraction).
     """
     series = np.asarray(series)
     if window <= 0:
@@ -30,8 +34,12 @@ def sliding_windows(series: np.ndarray, window: int, stride: int = 1) -> np.ndar
     length = series.shape[0]
     if length < window:
         raise ValueError(f"series of length {length} is shorter than the window {window}")
-    starts = np.arange(0, length - window + 1, stride)
-    return np.stack([series[s:s + window] for s in starts], axis=0)
+    view = np.lib.stride_tricks.sliding_window_view(series, window, axis=0)
+    if series.ndim > 1:
+        # sliding_window_view puts the window axis last: (num, N, W) -> (num, W, N).
+        view = np.moveaxis(view, -1, 1)
+    view = view[::stride]
+    return view.copy() if copy else view
 
 
 @dataclass

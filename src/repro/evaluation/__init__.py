@@ -2,7 +2,7 @@
 
 from .metrics import ConfusionCounts, EvaluationResult, confusion_counts, precision_recall_f1
 from .point_adjust import adjust_predictions, anomaly_segments
-from .pot import GPDFit, fit_gpd, pot_threshold, SPOT, DSPOT
+from .pot import GPDFit, fit_gpd, gpd_tail_threshold, pot_threshold, SPOT, DSPOT
 from .evaluator import DetectionOutcome, evaluate_scores, threshold_scores, best_f1_evaluation
 
 __all__ = [
@@ -14,6 +14,7 @@ __all__ = [
     "anomaly_segments",
     "GPDFit",
     "fit_gpd",
+    "gpd_tail_threshold",
     "pot_threshold",
     "SPOT",
     "DSPOT",

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["GPDFit", "fit_gpd", "pot_threshold", "SPOT", "DSPOT"]
+__all__ = ["GPDFit", "fit_gpd", "gpd_tail_threshold", "pot_threshold", "SPOT", "DSPOT"]
 
 
 @dataclass
@@ -81,6 +81,32 @@ def fit_gpd(excesses: np.ndarray) -> GPDFit:
     return best
 
 
+def gpd_tail_threshold(
+    initial_threshold: float,
+    fit: GPDFit,
+    q: float,
+    num_observations: int,
+) -> float:
+    """Invert a fitted GPD tail into the threshold ``z_q`` (Eq. 18 core).
+
+    This is the shared final step of every POT variant (batch, SPOT, DSPOT
+    and the streaming :class:`repro.streaming.IncrementalPOT`): given the
+    initial threshold ``t``, a GPD fit of the excesses over ``t`` and the
+    total number of observations ``n``, return
+
+    ``z_q = t + (sigma / gamma) * ((q * n / N_t)^(-gamma) - 1)``
+
+    falling back to the exponential limit for ``gamma ~ 0``.  The result is
+    clamped from below at the initial threshold.
+    """
+    ratio = q * num_observations / max(fit.num_excesses, 1)
+    if abs(fit.shape) < 1e-9:
+        threshold = initial_threshold - fit.scale * np.log(ratio)
+    else:
+        threshold = initial_threshold + (fit.scale / fit.shape) * (ratio ** (-fit.shape) - 1.0)
+    return float(max(threshold, initial_threshold))
+
+
 def pot_threshold(
     scores: np.ndarray,
     level: float = 0.99,
@@ -123,13 +149,8 @@ def pot_threshold(
         return float(np.quantile(scores, 1.0 - q))
 
     fit = fit_gpd(excesses)
-    ratio = q * n / fit.num_excesses
-    if abs(fit.shape) < 1e-9:
-        threshold = initial - fit.scale * np.log(ratio)
-    else:
-        threshold = initial + (fit.scale / fit.shape) * (ratio ** (-fit.shape) - 1.0)
     # The threshold must not fall below the initial quantile.
-    return float(max(threshold, initial))
+    return gpd_tail_threshold(initial, fit, q, n)
 
 
 class SPOT:
@@ -163,12 +184,9 @@ class SPOT:
             self.threshold = self.initial_threshold
             return
         fit = fit_gpd(np.asarray(self._excesses))
-        ratio = self.q * self._num_observations / max(len(self._excesses), 1)
-        if abs(fit.shape) < 1e-9:
-            threshold = self.initial_threshold - fit.scale * np.log(ratio)
-        else:
-            threshold = self.initial_threshold + (fit.scale / fit.shape) * (ratio ** (-fit.shape) - 1.0)
-        self.threshold = float(max(threshold, self.initial_threshold))
+        self.threshold = gpd_tail_threshold(
+            self.initial_threshold, fit, self.q, self._num_observations
+        )
 
     def step(self, score: float) -> bool:
         """Process one new score; return ``True`` if it is an anomaly."""

@@ -1,0 +1,41 @@
+"""Streaming inference subsystem: online scoring over live survey streams.
+
+The batch :class:`repro.core.AeroDetector` re-windows and re-scans the full
+series on every :meth:`score` call — fine for offline evaluation, unusable
+for the paper's headline scenario of *online* detection over live GWAC
+streams (Algorithm 2).  This package turns the reproduction into a serving
+system:
+
+* :mod:`~repro.streaming.buffer` — :class:`RingBuffer`, contiguous O(1)
+  appends with zero-copy sliding-window views;
+* :mod:`~repro.streaming.online_detector` — :class:`StreamingDetector`,
+  one-timestamp-at-a-time scoring provably equal to the batch path;
+* :mod:`~repro.streaming.online_pot` — :class:`IncrementalPOT`, streaming
+  POT thresholding with periodic GPD tail re-fits;
+* :mod:`~repro.streaming.fleet` — :class:`FleetManager`, sharded multi-star
+  serving that micro-batches score steps through one vectorised model call;
+* :mod:`~repro.streaming.alerts` — :class:`AlertPolicy`, debounced per-star
+  alerting for the GWAC monitoring scenario;
+* :mod:`~repro.streaming.service` — :class:`StreamingService`, a minimal
+  ingestion loop with backpressure statistics.
+"""
+
+from .buffer import RingBuffer
+from .online_pot import IncrementalPOT
+from .online_detector import StreamingDetector, StreamStepResult
+from .alerts import Alert, AlertPolicy
+from .fleet import FleetManager, FleetStepResult
+from .service import ServiceStats, StreamingService
+
+__all__ = [
+    "RingBuffer",
+    "IncrementalPOT",
+    "StreamingDetector",
+    "StreamStepResult",
+    "Alert",
+    "AlertPolicy",
+    "FleetManager",
+    "FleetStepResult",
+    "ServiceStats",
+    "StreamingService",
+]

@@ -1,0 +1,96 @@
+"""Alert policy layer for the GWAC monitoring scenario.
+
+Raw per-timestamp exceedances are too noisy to page an astronomer on: a
+single spurious residual spike would fire thousands of alerts per night
+across a fleet.  :class:`AlertPolicy` turns exceedances into actionable
+alerts with two standard serving-side controls:
+
+* **debouncing** — a star must exceed the threshold on ``min_consecutive``
+  consecutive steps before an alert fires (short flares still pass because
+  the paper's anomaly segments span many samples);
+* **cooldown** — once a star fires, further alerts for the same star are
+  suppressed for ``cooldown`` steps, so one long event produces one alert.
+
+The policy is fully vectorised over the fleet's flattened star axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Alert", "AlertPolicy"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One debounced alert for one star."""
+
+    star: int          # flat star index across the fleet
+    shard: int         # shard the star lives in (0 for a single detector)
+    variate: int       # variate index within the shard
+    step: int          # stream step at which the alert fired
+    score: float
+    threshold: float
+
+
+class AlertPolicy:
+    """Debounced, cooldown-limited alerting over per-star exceedances."""
+
+    def __init__(self, min_consecutive: int = 2, cooldown: int = 30):
+        if min_consecutive < 1:
+            raise ValueError("min_consecutive must be at least 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.min_consecutive = min_consecutive
+        self.cooldown = cooldown
+        self._streak: np.ndarray | None = None
+        self._muted_until: np.ndarray | None = None
+        self.alerts_fired = 0
+
+    def _ensure_state(self, num_stars: int) -> None:
+        if self._streak is None:
+            self._streak = np.zeros(num_stars, dtype=np.int64)
+            self._muted_until = np.full(num_stars, -1, dtype=np.int64)
+        elif len(self._streak) != num_stars:
+            raise ValueError(
+                f"policy tracks {len(self._streak)} stars but update got {num_stars}"
+            )
+
+    def reset(self) -> None:
+        self._streak = None
+        self._muted_until = None
+        self.alerts_fired = 0
+
+    def update(self, step: int, scores: np.ndarray, threshold: float) -> list[Alert]:
+        """Ingest one step of scores (any shape; flattened) and emit alerts.
+
+        NaN scores (warm-up) never fire and do not break a star's streak.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        shard_width = scores.shape[-1] if scores.ndim > 1 else scores.size
+        flat = scores.ravel()
+        self._ensure_state(flat.size)
+
+        valid = np.isfinite(flat)
+        exceed = valid & (flat >= threshold)
+        self._streak[exceed] += 1
+        self._streak[valid & ~exceed] = 0
+
+        eligible = exceed & (self._streak >= self.min_consecutive) & (self._muted_until < step)
+        fired = np.flatnonzero(eligible)
+        self._muted_until[fired] = step + self.cooldown
+        self._streak[fired] = 0
+        self.alerts_fired += len(fired)
+        return [
+            Alert(
+                star=int(star),
+                shard=int(star) // shard_width,
+                variate=int(star) % shard_width,
+                step=step,
+                score=float(flat[star]),
+                threshold=float(threshold),
+            )
+            for star in fired
+        ]

@@ -1,0 +1,114 @@
+"""Contiguous ring buffer with O(1) appends and zero-copy window views.
+
+The batch pipeline materialises every sliding window of the series on every
+``score()`` call.  A streaming detector instead keeps the last ``W`` rows in
+a :class:`RingBuffer`: appends are amortised O(1) and the current window is a
+plain numpy *view* into contiguous storage — no copying, no re-windowing.
+
+The buffer allocates twice its logical capacity and writes monotonically
+forward; when the write head reaches the physical end, the retained rows are
+copied back to the front in one vectorised move.  That compaction happens
+once per ``capacity`` appends, so the amortised cost per append stays O(1)
+while every window view remains contiguous (a classic "power-of-two mirror"
+ring, see e.g. kernel scatter-gather rings).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """Fixed-capacity FIFO over rows (or scalars) backed by contiguous storage.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of rows retained; older rows are overwritten.
+    num_variates:
+        Row width ``N``; ``None`` stores a 1-D stream of scalars.
+    dtype:
+        Storage dtype (default ``float64``, matching the detector).
+    """
+
+    def __init__(self, capacity: int, num_variates: int | None = None, dtype=np.float64):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if num_variates is not None and num_variates <= 0:
+            raise ValueError("num_variates must be positive")
+        self.capacity = capacity
+        self.num_variates = num_variates
+        shape = (2 * capacity,) if num_variates is None else (2 * capacity, num_variates)
+        self._data = np.zeros(shape, dtype=dtype)
+        self._start = 0
+        self._size = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of rows currently retained (at most ``capacity``)."""
+        return self._size
+
+    @property
+    def total_appended(self) -> int:
+        """Number of rows ever appended, including overwritten ones."""
+        return self._total
+
+    @property
+    def is_full(self) -> bool:
+        return self._size == self.capacity
+
+    def clear(self) -> None:
+        self._start = 0
+        self._size = 0
+        self._total = 0
+
+    # ------------------------------------------------------------------
+    def _compact(self) -> None:
+        """Move the retained rows back to the front of the storage."""
+        self._data[: self._size] = self._data[self._start : self._start + self._size]
+        self._start = 0
+
+    def append(self, row) -> None:
+        """Append one row; evicts the oldest row when full.  Amortised O(1)."""
+        if self.num_variates is not None:
+            row = np.asarray(row, dtype=self._data.dtype)
+            if row.shape != (self.num_variates,):
+                raise ValueError(
+                    f"row must have shape ({self.num_variates},), got {row.shape}"
+                )
+        if self._start + self._size == len(self._data):
+            self._compact()
+        self._data[self._start + self._size] = row
+        if self._size == self.capacity:
+            self._start += 1
+        else:
+            self._size += 1
+        self._total += 1
+
+    def extend(self, rows) -> None:
+        """Append several rows in order."""
+        for row in np.asarray(rows, dtype=self._data.dtype):
+            self.append(row)
+
+    # ------------------------------------------------------------------
+    def view(self, length: int | None = None) -> np.ndarray:
+        """Zero-copy view of the most recent ``length`` rows (default: all).
+
+        The returned array aliases the internal storage: it is only valid
+        until the next ``append``.  Callers that need to keep the window must
+        copy it themselves (micro-batching in the fleet manager does exactly
+        that, once, into the batch array).
+        """
+        if length is None:
+            length = self._size
+        if not 0 <= length <= self._size:
+            raise ValueError(f"cannot view {length} rows; buffer holds {self._size}")
+        end = self._start + self._size
+        return self._data[end - length : end]
+
+    def array(self, length: int | None = None) -> np.ndarray:
+        """Copy of the most recent ``length`` rows (safe to keep)."""
+        return self.view(length).copy()

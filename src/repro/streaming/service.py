@@ -1,0 +1,158 @@
+"""Minimal ingestion service: a bounded queue in front of the fleet.
+
+Real survey pipelines decouple camera readout from scoring with a queue.
+:class:`StreamingService` reproduces that shape in-process:
+
+* :meth:`submit` enqueues one exposure (returns ``False`` and counts a drop
+  when the bounded queue is full — backpressure made visible);
+* :meth:`drain` scores queued exposures, recording per-step wall-clock
+  latency;
+* :meth:`stats` reports queue depth, drops, and p50/p99 step latency plus
+  stars/sec throughput — the numbers an operator actually watches.
+
+The service is deliberately synchronous: the numpy substrate is single-
+process, so an async loop would only hide the arithmetic.  The queue +
+stats layer is where a production deployment would graft asyncio or a
+message bus without touching the scoring path.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StreamingService", "ServiceStats"]
+
+
+@dataclass
+class ServiceStats:
+    """Operational snapshot of the ingestion loop."""
+
+    processed_steps: int
+    dropped_steps: int
+    queue_depth: int
+    max_queue_depth: int
+    alerts_fired: int
+    mean_latency_ms: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    stars_per_second: float
+
+    def format(self) -> str:
+        return (
+            f"steps={self.processed_steps} dropped={self.dropped_steps} "
+            f"queue={self.queue_depth} (max {self.max_queue_depth}) "
+            f"alerts={self.alerts_fired} "
+            f"latency p50={self.p50_latency_ms:.2f}ms p99={self.p99_latency_ms:.2f}ms "
+            f"throughput={self.stars_per_second:,.0f} stars/s"
+        )
+
+
+class StreamingService:
+    """Bounded-queue ingestion loop around a fleet (or single-stream) scorer.
+
+    Parameters
+    ----------
+    fleet:
+        Any object with a ``step(rows, timestamp)`` method returning an
+        object with an ``alerts`` attribute (duck-typed:
+        :class:`~repro.streaming.fleet.FleetManager` or a compatible
+        wrapper) and a ``num_stars`` property.
+    max_queue:
+        Bound on queued exposures; submits beyond it are dropped and counted
+        (load shedding — for survey streams, a stale exposure is worthless).
+    latency_window:
+        Number of recent step latencies retained for the p50/p99 stats, so a
+        long-running service holds O(1) memory (an operator watches recent
+        latency, not the all-time distribution).
+    """
+
+    def __init__(self, fleet, max_queue: int = 256, latency_window: int = 4096):
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if latency_window <= 0:
+            raise ValueError("latency_window must be positive")
+        self.fleet = fleet
+        self.max_queue = max_queue
+        self._queue: deque = deque()
+        self._latencies: deque = deque(maxlen=latency_window)
+        self._processed = 0
+        self._dropped = 0
+        self._max_queue_depth = 0
+        self._alerts = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def under_pressure(self) -> bool:
+        """True when the queue is more than half full."""
+        return len(self._queue) > self.max_queue // 2
+
+    def submit(self, rows: np.ndarray, timestamp: float | None = None) -> bool:
+        """Enqueue one exposure; returns ``False`` if it was shed.
+
+        The rows are copied, so a producer may reuse its exposure buffer
+        immediately — queued entries never alias caller memory.
+        """
+        if len(self._queue) >= self.max_queue:
+            self._dropped += 1
+            return False
+        self._queue.append((np.array(rows, dtype=np.float64, copy=True), timestamp))
+        self._max_queue_depth = max(self._max_queue_depth, len(self._queue))
+        return True
+
+    def drain(self, max_steps: int | None = None) -> list:
+        """Score queued exposures (all of them by default); returns step results."""
+        drained = []
+        while self._queue and (max_steps is None or len(drained) < max_steps):
+            rows, timestamp = self._queue.popleft()
+            started = time.perf_counter()
+            result = self.fleet.step(rows, timestamp)
+            self._latencies.append(time.perf_counter() - started)
+            self._processed += 1
+            self._alerts += len(getattr(result, "alerts", ()))
+            drained.append(result)
+        return drained
+
+    def run(self, exposures, timestamps: np.ndarray | None = None) -> list:
+        """Submit-and-drain a whole night of exposures, step by step.
+
+        Returns only the results produced by *this* call; earlier drained
+        results are not replayed.
+        """
+        produced = []
+        for tick, rows in enumerate(exposures):
+            timestamp = None if timestamps is None else float(timestamps[tick])
+            self.submit(rows, timestamp)
+            produced.extend(self.drain())
+        return produced
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        latencies = np.asarray(self._latencies, dtype=np.float64)
+        if latencies.size:
+            mean = float(latencies.mean())
+            p50 = float(np.percentile(latencies, 50))
+            p99 = float(np.percentile(latencies, 99))
+            num_stars = getattr(self.fleet, "num_stars", 1)
+            throughput = num_stars / mean if mean > 0 else float("inf")
+        else:
+            mean = p50 = p99 = 0.0
+            throughput = 0.0
+        return ServiceStats(
+            processed_steps=self._processed,
+            dropped_steps=self._dropped,
+            queue_depth=len(self._queue),
+            max_queue_depth=self._max_queue_depth,
+            alerts_fired=self._alerts,
+            mean_latency_ms=mean * 1e3,
+            p50_latency_ms=p50 * 1e3,
+            p99_latency_ms=p99 * 1e3,
+            stars_per_second=throughput,
+        )
