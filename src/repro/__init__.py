@@ -8,12 +8,14 @@ Astronomical Observations" (ICDE 2024).  The package layers:
 * :mod:`repro.evaluation` — POT thresholding, point-adjust, P/R/F1;
 * :mod:`repro.core` — the AERO model (the paper's contribution);
 * :mod:`repro.baselines` — the eleven comparison methods;
-* :mod:`repro.experiments` — runners regenerating every table and figure.
+* :mod:`repro.experiments` — runners regenerating every table and figure;
+* :mod:`repro.runtime` — compiled tape-free inference plans for serving.
 """
 
 from .core import AeroConfig, AeroDetector, AeroModel, build_variant
 from .data import AstroDataset, load_astroset, load_synthetic
 from .evaluation import evaluate_scores, pot_threshold, precision_recall_f1
+from .runtime import CompiledDetector, compile_detector
 from .streaming import (
     AlertPolicy,
     FleetManager,
@@ -23,7 +25,7 @@ from .streaming import (
     StreamingService,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AeroConfig",
@@ -36,6 +38,8 @@ __all__ = [
     "evaluate_scores",
     "pot_threshold",
     "precision_recall_f1",
+    "CompiledDetector",
+    "compile_detector",
     "AlertPolicy",
     "FleetManager",
     "IncrementalPOT",

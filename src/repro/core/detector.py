@@ -20,18 +20,91 @@ Typical usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
 
 import numpy as np
 
 from ..data.preprocessing import MinMaxScaler
 from ..data.windows import WindowDataset
 from ..evaluation import DetectionOutcome, evaluate_scores, pot_threshold
+from ..nn.serialization import load_arrays, save_arrays
 from .config import AeroConfig
 from .model import AeroModel
 from .trainer import AeroTrainer, TrainingHistory
 
-__all__ = ["AeroDetector", "DetectionReport"]
+__all__ = ["AeroDetector", "DetectionReport", "sliding_window_scores"]
+
+
+def sliding_window_scores(
+    forward,
+    config: AeroConfig,
+    scaled: np.ndarray,
+    timestamps: np.ndarray | None,
+    context: np.ndarray | None,
+    context_times: np.ndarray | None,
+    score_dtype=np.float64,
+) -> np.ndarray:
+    """Stride-1 scoring driver shared by every batch scorer (Algorithm 2).
+
+    Owns the full batch-scoring contract in one place — context stitching,
+    timestamp alignment, micro-batch grouping, score placement by window
+    end index, and the conservative early-point backfill — so the autograd
+    path (:meth:`AeroDetector.score`) and the compiled runtime
+    (:meth:`repro.runtime.CompiledDetector.score`) cannot drift apart.
+
+    Parameters
+    ----------
+    forward:
+        Callable mapping a :class:`~repro.data.windows.WindowBatch` to its
+        ``(batch, N)`` anomaly scores.
+    scaled:
+        Already-normalized series of shape ``(T, N)``.
+    context / context_times:
+        Optional rows (and their timestamps) prepended before windowing so
+        the first points have full windows; scores are reported only for
+        the ``scaled`` rows.
+    """
+    num_points, num_variates = scaled.shape
+    context_length = 0
+    if context is not None and len(context):
+        scaled = np.concatenate([context, scaled], axis=0)
+        context_length = len(context)
+        if (
+            timestamps is not None
+            and context_times is not None
+            and len(context_times) == context_length
+        ):
+            timestamps = np.concatenate([context_times, np.asarray(timestamps, dtype=np.float64)])
+        else:
+            timestamps = None
+
+    scores = np.zeros((num_points, num_variates), dtype=score_dtype)
+    covered = np.zeros(num_points, dtype=bool)
+    if scaled.shape[0] < config.window:
+        return scores
+
+    window_dataset = WindowDataset(
+        scaled,
+        window=config.window,
+        short_window=config.short_window,
+        timestamps=timestamps,
+        stride=1,
+    )
+    for batch in window_dataset.batches(config.batch_size, shuffle=False):
+        batch_scores = forward(batch)
+        for row, end in enumerate(batch.end_indices):
+            position = int(end) - context_length
+            if 0 <= position < num_points:
+                scores[position] = batch_scores[row]
+                covered[position] = True
+    # Early points that no window reaches inherit the first computed score,
+    # so every timestamp has a well-defined (if conservative) score.
+    if covered.any():
+        first = int(np.argmax(covered))
+        scores[:first] = scores[first]
+    return scores
 
 
 @dataclass
@@ -47,6 +120,8 @@ class DetectionReport:
 class AeroDetector:
     """Unsupervised anomaly detector for astronomical multivariate time series."""
 
+    BACKENDS = ("autograd", "compiled")
+
     def __init__(
         self,
         config: AeroConfig | None = None,
@@ -56,7 +131,10 @@ class AeroDetector:
         use_short_window: bool = True,
         graph_mode: str = "window",
         verbose: bool = False,
+        backend: str = "autograd",
     ):
+        if backend not in self.BACKENDS:
+            raise ValueError(f"backend must be one of {self.BACKENDS}, got {backend!r}")
         self.config = config or AeroConfig()
         self.use_temporal = use_temporal
         self.use_noise_module = use_noise_module
@@ -64,6 +142,7 @@ class AeroDetector:
         self.use_short_window = use_short_window
         self.graph_mode = graph_mode
         self.verbose = verbose
+        self.backend = backend
 
         self.model: AeroModel | None = None
         self.scaler: MinMaxScaler | None = None
@@ -71,12 +150,36 @@ class AeroDetector:
         self.train_scores_: np.ndarray | None = None
         self._train_tail: np.ndarray | None = None
         self._train_tail_times: np.ndarray | None = None
+        self._compiled: dict = {}  # dtype -> cached repro.runtime.CompiledDetector
 
     # ------------------------------------------------------------------
     def _require_fitted(self) -> AeroModel:
         if self.model is None or self.scaler is None:
             raise RuntimeError("the detector must be fitted before scoring")
         return self.model
+
+    def _resolve_backend(self, backend: str | None) -> str:
+        backend = backend if backend is not None else self.backend
+        if backend not in self.BACKENDS:
+            raise ValueError(f"backend must be one of {self.BACKENDS}, got {backend!r}")
+        return backend
+
+    def compile(self, dtype="float64"):
+        """Freeze this fitted detector into a tape-free :class:`CompiledDetector`.
+
+        The compiled artifact (see :mod:`repro.runtime`) scores with raw
+        ndarray plans — bit-for-bit equal to the autograd path in float64 —
+        and is cached per dtype; ``fit()`` invalidates the cache.
+        """
+        from ..runtime import compile_detector
+
+        self._require_fitted()
+        key = np.dtype(dtype)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            compiled = compile_detector(self, dtype=key)
+            self._compiled[key] = compiled
+        return compiled
 
     def _effective_window(self, series_length: int) -> tuple[int, int]:
         """Clamp the configured windows to the available series length."""
@@ -130,6 +233,7 @@ class AeroDetector:
             timestamps = np.asarray(timestamps, dtype=np.float64)
             self._train_tail_times = timestamps[-(config.window - 1):] if config.window > 1 else timestamps[:0]
         self.train_scores_ = self._score_scaled(scaled, timestamps, prepend_context=False)
+        self._compiled = {}  # stale after re-training
         return self
 
     # ------------------------------------------------------------------
@@ -141,45 +245,16 @@ class AeroDetector:
     ) -> np.ndarray:
         """Score an already-normalized series; returns ``(T, N)`` anomaly scores."""
         model = self._require_fitted()
-        config = self.config
-        num_points, num_variates = scaled.shape
-
-        context_length = 0
-        if prepend_context and self._train_tail is not None and len(self._train_tail):
-            scaled = np.concatenate([self._train_tail, scaled], axis=0)
-            context_length = len(self._train_tail)
-            if timestamps is not None and self._train_tail_times is not None and len(self._train_tail_times) == context_length:
-                timestamps = np.concatenate([self._train_tail_times, np.asarray(timestamps, dtype=np.float64)])
-            else:
-                timestamps = None
-
-        scores = np.zeros((num_points, num_variates))
-        covered = np.zeros(num_points, dtype=bool)
-        if scaled.shape[0] < config.window:
-            return scores
-
-        window_dataset = WindowDataset(
-            scaled,
-            window=config.window,
-            short_window=config.short_window,
-            timestamps=timestamps,
-            stride=1,
-        )
         if model.noise is not None and model.noise.graph_mode == "dynamic":
             model.noise.reset_dynamic_state()
-        for batch in window_dataset.batches(config.batch_size, shuffle=False):
-            result = model(batch.long, batch.short, batch.long_times, batch.short_times)
-            for row, end in enumerate(batch.end_indices):
-                position = int(end) - context_length
-                if 0 <= position < num_points:
-                    scores[position] = result.scores[row]
-                    covered[position] = True
-        # Early points that no window reaches inherit the first computed score,
-        # so every timestamp has a well-defined (if conservative) score.
-        if covered.any():
-            first = int(np.argmax(covered))
-            scores[:first] = scores[first]
-        return scores
+        return sliding_window_scores(
+            lambda batch: model(batch.long, batch.short, batch.long_times, batch.short_times).scores,
+            self.config,
+            scaled,
+            timestamps,
+            self._train_tail if prepend_context else None,
+            self._train_tail_times if prepend_context else None,
+        )
 
     def score_windows(
         self,
@@ -187,6 +262,7 @@ class AeroDetector:
         short_windows: np.ndarray,
         long_times: np.ndarray | None = None,
         short_times: np.ndarray | None = None,
+        backend: str | None = None,
     ) -> np.ndarray:
         """Score a batch of already-normalised windows; returns ``(batch, N)``.
 
@@ -194,9 +270,12 @@ class AeroDetector:
         pass over explicit ``(batch, N, W)`` long windows and ``(batch, N,
         omega)`` short windows, with no re-windowing of the full series.  The
         streaming subsystem (:mod:`repro.streaming`) builds its incremental
-        path on top of this method.
+        path on top of this method.  With ``backend="compiled"`` the forward
+        pass runs on the tape-free plans of :mod:`repro.runtime`.
         """
         model = self._require_fitted()
+        if self._resolve_backend(backend) == "compiled":
+            return self.compile().score_windows(long_windows, short_windows, long_times, short_times)
         result = model(long_windows, short_windows, long_times, short_times)
         return result.scores
 
@@ -216,9 +295,22 @@ class AeroDetector:
 
         return StreamingDetector(self, **kwargs)
 
-    def score(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
-        """Anomaly scores for every point of ``series`` (shape ``(T, N)``)."""
+    def score(
+        self,
+        series: np.ndarray,
+        timestamps: np.ndarray | None = None,
+        backend: str | None = None,
+    ) -> np.ndarray:
+        """Anomaly scores for every point of ``series`` (shape ``(T, N)``).
+
+        ``backend`` selects the execution engine: ``"autograd"`` runs the
+        :class:`AeroModel` forward pass, ``"compiled"`` the tape-free plans
+        of :mod:`repro.runtime` (bit-for-bit identical scores in float64);
+        ``None`` uses the detector's default backend.
+        """
         self._require_fitted()
+        if self._resolve_backend(backend) == "compiled":
+            return self.compile().score(series, timestamps)
         series = np.asarray(series, dtype=np.float64)
         if series.ndim != 2:
             raise ValueError("series must be 2-D (time, variates)")
@@ -232,9 +324,14 @@ class AeroDetector:
             raise RuntimeError("the detector must be fitted before thresholding")
         return pot_threshold(self.train_scores_, level=self.config.pot_level, q=self.config.pot_q)
 
-    def detect(self, series: np.ndarray, timestamps: np.ndarray | None = None) -> np.ndarray:
+    def detect(
+        self,
+        series: np.ndarray,
+        timestamps: np.ndarray | None = None,
+        backend: str | None = None,
+    ) -> np.ndarray:
         """Binary anomaly labels ``O_t`` for every point of ``series``."""
-        scores = self.score(series, timestamps)
+        scores = self.score(series, timestamps, backend=backend)
         return (scores >= self.threshold()).astype(np.int64)
 
     def evaluate(
@@ -262,6 +359,153 @@ class AeroDetector:
             test_scores=test_scores,
             history=self.history,
         )
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    CHECKPOINT_FORMAT = "aero-detector"
+    CHECKPOINT_VERSION = 1
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the fitted detector into one ``.npz`` checkpoint.
+
+        The artifact bundles everything scoring needs: the configuration and
+        variant flags, every model parameter, the fitted scaler statistics,
+        the training-tail context and the POT calibration (train scores and
+        the derived threshold).  A detector restored with :meth:`load`
+        scores identically — and compiled plans (:meth:`compile`) can be
+        built straight from the restored detector without retraining.
+        """
+        model = self._require_fitted()
+        if self.train_scores_ is None:
+            raise RuntimeError("the detector must be fitted before saving")
+        meta = {
+            "format": self.CHECKPOINT_FORMAT,
+            "version": self.CHECKPOINT_VERSION,
+            "config": asdict(self.config),
+            "detector": {
+                "use_temporal": self.use_temporal,
+                "use_noise_module": self.use_noise_module,
+                "multivariate_input": self.multivariate_input,
+                "use_short_window": self.use_short_window,
+                "graph_mode": self.graph_mode,
+                "backend": self.backend,
+            },
+            "num_variates": model.num_variates,
+        }
+        arrays: dict[str, np.ndarray] = {
+            "meta": np.array(json.dumps(meta)),
+            "scaler.data_min": self.scaler.data_min_,
+            "scaler.data_max": self.scaler.data_max_,
+            "scaler.feature_range": np.asarray(self.scaler.feature_range, dtype=np.float64),
+            "scaler.eps": np.asarray(self.scaler.eps, dtype=np.float64),
+            "pot.train_scores": self.train_scores_,
+            "pot.threshold": np.asarray(self.threshold(), dtype=np.float64),
+            "context.train_tail": self._train_tail,
+        }
+        if self._train_tail_times is not None:
+            arrays["context.train_tail_times"] = self._train_tail_times
+        if self.history is not None:
+            arrays["history.stage1"] = np.asarray(self.history.stage1_losses, dtype=np.float64)
+            arrays["history.stage2"] = np.asarray(self.history.stage2_losses, dtype=np.float64)
+        for name, value in model.state_dict().items():
+            arrays[f"model.{name}"] = value
+        return save_arrays(path, arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "AeroDetector":
+        """Restore a detector saved by :meth:`save`, ready to score.
+
+        The restored model is in eval mode and scores bit-for-bit like the
+        detector that was saved (same weights, scaler, context and POT
+        threshold).  Raises :class:`FileNotFoundError` / :class:`ValueError`
+        with the offending path for missing or malformed checkpoints.
+        """
+        path = Path(path)
+        arrays = load_arrays(path)
+        if "meta" not in arrays:
+            raise ValueError(f"{path} is not an {cls.CHECKPOINT_FORMAT} checkpoint (no metadata)")
+        try:
+            meta = json.loads(str(arrays["meta"]))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path} holds corrupt checkpoint metadata: {error}") from error
+        if meta.get("format") != cls.CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"{path} is a {meta.get('format')!r} checkpoint, expected {cls.CHECKPOINT_FORMAT!r}"
+            )
+        if meta.get("version", 0) > cls.CHECKPOINT_VERSION:
+            raise ValueError(
+                f"{path} was written by a newer checkpoint format "
+                f"(version {meta['version']} > {cls.CHECKPOINT_VERSION})"
+            )
+        required = (
+            "scaler.data_min", "scaler.data_max", "scaler.feature_range", "scaler.eps",
+            "pot.train_scores", "context.train_tail",
+        )
+        missing = [key for key in required if key not in arrays]
+        if missing:
+            raise ValueError(f"checkpoint {path} is incomplete: missing {missing}")
+
+        config = AeroConfig(**meta["config"])
+        detector = cls(config=config, **meta["detector"])
+        detector.scaler = MinMaxScaler(
+            feature_range=tuple(arrays["scaler.feature_range"].tolist()),
+            eps=float(arrays["scaler.eps"]),
+        )
+        detector.scaler.data_min_ = np.asarray(arrays["scaler.data_min"], dtype=np.float64)
+        detector.scaler.data_max_ = np.asarray(arrays["scaler.data_max"], dtype=np.float64)
+
+        detector.model = AeroModel(
+            config,
+            num_variates=int(meta["num_variates"]),
+            use_temporal=detector.use_temporal,
+            use_noise_module=detector.use_noise_module,
+            multivariate_input=detector.multivariate_input,
+            use_short_window=detector.use_short_window,
+            graph_mode=detector.graph_mode,
+        )
+        if detector.model.noise is not None:
+            # Same node scales as fit(): per-variate data ranges of the scaler.
+            ranges = np.maximum(
+                detector.scaler.data_max_ - detector.scaler.data_min_, 1e-8
+            )
+            detector.model.noise.set_node_scales(ranges)
+        state = {
+            name[len("model."):]: value
+            for name, value in arrays.items()
+            if name.startswith("model.")
+        }
+        try:
+            detector.model.load_state_dict(state)
+        except (KeyError, ValueError) as error:
+            raise type(error)(
+                f"checkpoint {path} does not match the detector architecture: {error}"
+            ) from error
+        detector.model.eval()
+
+        detector.train_scores_ = np.asarray(arrays["pot.train_scores"], dtype=np.float64)
+        if "pot.threshold" in arrays:
+            # Integrity check: the stored threshold must reproduce from the
+            # stored train scores, else the calibration data is corrupt (or
+            # the POT configuration diverged between save and load).
+            stored = float(arrays["pot.threshold"])
+            recomputed = detector.threshold()
+            if not np.isclose(recomputed, stored, rtol=1e-6, atol=1e-12):
+                raise ValueError(
+                    f"checkpoint {path} POT threshold mismatch: stored {stored:.6g}, "
+                    f"recomputed {recomputed:.6g} — calibration data is corrupt"
+                )
+        detector._train_tail = np.asarray(arrays["context.train_tail"], dtype=np.float64)
+        if "context.train_tail_times" in arrays:
+            detector._train_tail_times = np.asarray(
+                arrays["context.train_tail_times"], dtype=np.float64
+            )
+        if "history.stage1" in arrays:
+            detector.history = TrainingHistory(
+                stage1_losses=arrays["history.stage1"].tolist(),
+                stage2_losses=arrays["history.stage2"].tolist(),
+            )
+        return detector
 
     # ------------------------------------------------------------------
     def learned_graph(self) -> np.ndarray | None:

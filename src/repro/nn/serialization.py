@@ -1,4 +1,15 @@
-"""Saving and loading model parameters to/from ``.npz`` archives."""
+"""Saving and loading model parameters to/from ``.npz`` archives.
+
+``save_module``/``load_module`` persist one :class:`~repro.nn.Module`;
+``save_arrays``/``load_arrays`` are the underlying flat-archive helpers,
+reused by higher-level checkpoints (e.g. ``AeroDetector.save()``, which
+stores model weights, scaler statistics and POT state in one artifact).
+
+All loaders validate eagerly and raise descriptive errors — a missing
+file, a corrupt archive, missing/unexpected parameters or a shape mismatch
+each name the offending path and keys instead of surfacing a cryptic numpy
+failure deep inside ``load_state_dict``.
+"""
 
 from __future__ import annotations
 
@@ -8,26 +19,86 @@ import numpy as np
 
 from .module import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = ["save_module", "load_module", "save_arrays", "load_arrays"]
+
+
+def save_arrays(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+    """Persist a flat ``name -> array`` mapping into a compressed ``.npz``.
+
+    Keys may contain dots (they are escaped — ``np.savez`` forbids some
+    separators in archive member names on some platforms).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{_escape(key): value for key, value in arrays.items()})
+    return path
+
+
+def load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a ``name -> array`` mapping saved by :func:`save_arrays`.
+
+    Raises
+    ------
+    FileNotFoundError
+        If ``path`` does not exist.
+    ValueError
+        If the file is not a readable ``.npz`` archive.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint found at {path}")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return {_unescape(key): archive[key] for key in archive.files}
+    except FileNotFoundError:
+        raise
+    except Exception as error:  # zipfile.BadZipFile, pickle refusals, ...
+        raise ValueError(f"{path} is not a readable .npz checkpoint: {error}") from error
 
 
 def save_module(module: Module, path: str | Path) -> Path:
     """Persist all parameters of ``module`` into a compressed ``.npz`` file."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    state = module.state_dict()
-    # ``np.savez`` forbids "/" in keys on some platforms; escape dots too for safety.
-    np.savez_compressed(path, **{_escape(key): value for key, value in state.items()})
-    return path
+    return save_arrays(path, module.state_dict())
 
 
 def load_module(module: Module, path: str | Path) -> Module:
-    """Load parameters saved by :func:`save_module` into ``module`` in place."""
+    """Load parameters saved by :func:`save_module` into ``module`` in place.
+
+    The archive is validated against the module before anything is written:
+    missing keys, unexpected keys and per-parameter shape mismatches raise
+    with the checkpoint path, the module class and the offending names.
+    """
     path = Path(path)
-    with np.load(path) as archive:
-        state = {_unescape(key): archive[key] for key in archive.files}
+    state = load_arrays(path)
+    own = dict(module.named_parameters())
+    context = f"checkpoint {path} does not match {type(module).__name__}"
+
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    if missing or unexpected:
+        details = []
+        if missing:
+            details.append(f"missing parameters: {_preview(missing)}")
+        if unexpected:
+            details.append(f"unexpected parameters: {_preview(unexpected)}")
+        raise KeyError(f"{context}: " + "; ".join(details))
+    mismatched = [
+        f"{name} (expected {own[name].data.shape}, got {np.shape(state[name])})"
+        for name in own
+        if np.shape(state[name]) != own[name].data.shape
+    ]
+    if mismatched:
+        raise ValueError(f"{context}: shape mismatch for {_preview(mismatched)}")
+
     module.load_state_dict(state)
     return module
+
+
+def _preview(items: list[str], limit: int = 5) -> str:
+    shown = ", ".join(items[:limit])
+    if len(items) > limit:
+        shown += f", ... ({len(items)} total)"
+    return shown
 
 
 def _escape(key: str) -> str:

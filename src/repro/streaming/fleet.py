@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from .alerts import Alert, AlertPolicy
+from .online_detector import resolve_backend_engine
 from .timeline import seed_stream_state
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
@@ -59,6 +60,12 @@ class FleetManager:
         Optional :class:`AlertPolicy`; defaults to a debounce-2 / cooldown-30
         policy.  Pass ``None`` explicitly via ``alerts=False``-style usage is
         not supported — use a permissive policy instead.
+    backend:
+        ``"autograd"``, ``"compiled"``, ``None`` (inherit the detector's
+        default) or a pre-built :class:`repro.runtime.CompiledDetector`.
+        On the compiled backend every tick is served through the fused
+        multi-star ``score_stack`` path: the ``(num_shards, W, N)`` stack of
+        ring-buffer windows is scored in one tape-free plan call.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class FleetManager:
         num_shards: int,
         seed_context: bool = True,
         alert_policy: AlertPolicy | None = None,
+        backend=None,
     ):
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -84,6 +92,8 @@ class FleetManager:
         self.num_variates = model.num_variates
         self.threshold = detector.threshold()
         self.alert_policy = alert_policy or AlertPolicy()
+        self._engine = resolve_backend_engine(detector, backend)
+        self.backend = "autograd" if self._engine is None else "compiled"
 
         window = self.config.window
         # Shards share one exposure timeline, stitched to the training tail
@@ -92,8 +102,14 @@ class FleetManager:
         self._buffers, self._timeline = seed_stream_state(detector, num_shards, seed_context)
         self._step = 0
         # Reusable micro-batch staging arrays: one slot per shard, filled by
-        # copying each shard's zero-copy window view.
-        self._batch_long = np.empty((num_shards, self.num_variates, window))
+        # copying each shard's zero-copy window view.  The autograd path
+        # stages variate-major ``(S, N, W)`` windows; the compiled path keeps
+        # the ring buffers' time-major layout and hands the ``(S, W, N)``
+        # stack to the fused ``score_stack`` plan call.
+        if self._engine is None:
+            self._batch_long = np.empty((num_shards, self.num_variates, window))
+        else:
+            self._batch_stack = np.empty((num_shards, window, self.num_variates))
         self._batch_times = np.empty((num_shards, window))
 
     # ------------------------------------------------------------------
@@ -137,15 +153,21 @@ class FleetManager:
                 threshold=self.threshold, ready=False,
             )
 
-        for shard, buffer in enumerate(self._buffers):
-            self._batch_long[shard] = buffer.view(window).T
         self._batch_times[:] = self._timeline.view(window)[None, :]
-        scores = self.detector.score_windows(
-            self._batch_long,
-            self._batch_long[:, :, window - short :],
-            self._batch_times,
-            self._batch_times[:, window - short :],
-        )
+        if self._engine is not None:
+            for shard, buffer in enumerate(self._buffers):
+                self._batch_stack[shard] = buffer.view(window)
+            scores = self._engine.score_stack(self._batch_stack, self._batch_times)
+        else:
+            for shard, buffer in enumerate(self._buffers):
+                self._batch_long[shard] = buffer.view(window).T
+            scores = self.detector.score_windows(
+                self._batch_long,
+                self._batch_long[:, :, window - short :],
+                self._batch_times,
+                self._batch_times[:, window - short :],
+                backend="autograd",
+            )
         labels = (scores >= self.threshold).astype(np.int64)
         alerts = self.alert_policy.update(step_index, scores, self.threshold)
         return FleetStepResult(

@@ -34,7 +34,35 @@ from .timeline import seed_stream_state
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from ..core.detector import AeroDetector
 
-__all__ = ["StreamingDetector", "StreamStepResult"]
+__all__ = ["StreamingDetector", "StreamStepResult", "resolve_backend_engine"]
+
+
+def resolve_backend_engine(detector: "AeroDetector", backend):
+    """Resolve a streaming front-end's ``backend`` argument to an engine.
+
+    Returns a :class:`repro.runtime.CompiledDetector` when the resolved
+    backend is ``"compiled"`` (building/caching it through
+    :meth:`AeroDetector.compile`), or ``None`` for the autograd path.
+    ``backend`` may be ``None`` (inherit the detector default), one of the
+    backend names, or an already-built :class:`CompiledDetector` — e.g. one
+    loaded from a checkpoint or compiled with ``dtype="float32"``.
+    """
+    if backend is None or isinstance(backend, str):
+        resolved = detector._resolve_backend(backend)
+        return detector.compile() if resolved == "compiled" else None
+    from ..runtime import CompiledDetector
+
+    if not isinstance(backend, CompiledDetector):
+        raise TypeError(
+            "backend must be None, 'autograd', 'compiled' or a CompiledDetector, "
+            f"got {type(backend).__name__}"
+        )
+    if backend.num_variates != detector._require_fitted().num_variates:
+        raise ValueError(
+            f"compiled plan serves {backend.num_variates} variates, "
+            f"detector has {detector.model.num_variates}"
+        )
+    return backend
 
 
 @dataclass
@@ -75,6 +103,14 @@ class StreamingDetector:
         Seed the buffer with the detector's training tail (default), which is
         what the batch path prepends; disable for a cold-started star with no
         history, which then warms up over the first ``W - 1`` steps.
+    backend:
+        ``"autograd"`` steps through the detector's model; ``"compiled"``
+        compiles the detector into the tape-free plans of
+        :mod:`repro.runtime` and serves from those (same scores, bit for bit
+        in float64).  A pre-built :class:`repro.runtime.CompiledDetector`
+        may also be passed directly, e.g. one loaded from a checkpoint or
+        compiled with ``dtype="float32"``.  ``None`` inherits the
+        detector's default backend.
     """
 
     def __init__(
@@ -83,11 +119,14 @@ class StreamingDetector:
         adaptive_pot: bool = False,
         pot_refit_interval: int = 32,
         seed_context: bool = True,
+        backend=None,
     ):
         model = detector._require_fitted()
         self.detector = detector
         self.config = detector.config
         self.num_variates = model.num_variates
+        self._engine = resolve_backend_engine(detector, backend)
+        self.backend = "autograd" if self._engine is None else "compiled"
 
         buffers, self._timeline = seed_stream_state(detector, 1, seed_context)
         self._buffer = buffers[0]
@@ -104,6 +143,8 @@ class StreamingDetector:
 
         if model.noise is not None and model.noise.graph_mode == "dynamic":
             model.noise.reset_dynamic_state()
+        if self._engine is not None and self._engine.model.graph_mode == "dynamic":
+            self._engine.reset_dynamic_state()
 
     # ------------------------------------------------------------------
     @property
@@ -161,12 +202,21 @@ class StreamingDetector:
 
         batch = len(ready_rows)
         if batch:
-            scores_batch = self.detector.score_windows(
-                longs[:batch],
-                longs[:batch, :, window - short :],
-                long_times[:batch],
-                long_times[:batch, window - short :],
-            )
+            if self._engine is not None:
+                scores_batch = self._engine.score_windows(
+                    longs[:batch],
+                    longs[:batch, :, window - short :],
+                    long_times[:batch],
+                    long_times[:batch, window - short :],
+                )
+            else:
+                scores_batch = self.detector.score_windows(
+                    longs[:batch],
+                    longs[:batch, :, window - short :],
+                    long_times[:batch],
+                    long_times[:batch, window - short :],
+                    backend="autograd",
+                )
         results: list[StreamStepResult] = []
         ready_cursor = 0
         for position in range(count):

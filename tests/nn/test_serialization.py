@@ -1,0 +1,106 @@
+"""Module (de)serialization: ``save_module``/``load_module`` hardening.
+
+``load_module`` must fail with descriptive, actionable errors — naming the
+checkpoint path, the module class and the offending parameter names — for
+every malformed-archive case, instead of surfacing cryptic numpy failures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    Module,
+    Sequential,
+    load_arrays,
+    load_module,
+    save_arrays,
+    save_module,
+)
+
+
+def _small_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+
+
+class TestRoundTrip:
+    def test_save_and_load_restores_parameters(self, tmp_path):
+        source = _small_model(seed=1)
+        target = _small_model(seed=2)
+        path = save_module(source, tmp_path / "model.npz")
+        load_module(target, path)
+        for (name_a, param_a), (name_b, param_b) in zip(
+            source.named_parameters(), target.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_save_arrays_round_trips_dotted_keys(self, tmp_path):
+        arrays = {"model.layers.0.weight": np.arange(6.0), "meta": np.array("x")}
+        path = save_arrays(tmp_path / "arrays.npz", arrays)
+        restored = load_arrays(path)
+        assert set(restored) == set(arrays)
+        np.testing.assert_array_equal(restored["model.layers.0.weight"], arrays["model.layers.0.weight"])
+
+
+class TestLoadModuleErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no checkpoint"):
+            load_module(_small_model(), tmp_path / "absent.npz")
+
+    def test_corrupt_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"definitely not an npz file")
+        with pytest.raises(ValueError, match="not a readable .npz checkpoint"):
+            load_module(_small_model(), path)
+
+    def test_missing_keys_are_named(self, tmp_path):
+        model = _small_model()
+        state = model.state_dict()
+        del state["layers.1.bias"]
+        path = save_arrays(tmp_path / "partial.npz", state)
+        with pytest.raises(KeyError, match="missing parameters.*layers.1.bias"):
+            load_module(_small_model(), path)
+
+    def test_unexpected_keys_are_named(self, tmp_path):
+        model = _small_model()
+        state = model.state_dict()
+        state["layers.9.weight"] = np.zeros(3)
+        path = save_arrays(tmp_path / "extra.npz", state)
+        with pytest.raises(KeyError, match="unexpected parameters.*layers.9.weight"):
+            load_module(_small_model(), path)
+
+    def test_shape_mismatch_is_named_with_shapes(self, tmp_path):
+        model = _small_model()
+        state = model.state_dict()
+        state["layers.0.weight"] = np.zeros((5, 8))
+        path = save_arrays(tmp_path / "badshape.npz", state)
+        with pytest.raises(ValueError, match=r"layers.0.weight \(expected \(4, 8\), got \(5, 8\)\)"):
+            load_module(_small_model(), path)
+
+    def test_error_names_module_class_and_path(self, tmp_path):
+        path = save_arrays(tmp_path / "empty.npz", {"bogus": np.zeros(1)})
+        with pytest.raises(KeyError, match="Sequential"):
+            load_module(_small_model(), path)
+
+    def test_nothing_is_written_on_mismatch(self, tmp_path):
+        # Validation must run before any parameter is assigned.
+        model = _small_model(seed=3)
+        before = {name: param.data.copy() for name, param in model.named_parameters()}
+        state = model.state_dict()
+        state["layers.0.weight"] = np.zeros((9, 9))
+        path = save_arrays(tmp_path / "badshape.npz", state)
+        with pytest.raises(ValueError):
+            load_module(model, path)
+        for name, param in model.named_parameters():
+            np.testing.assert_array_equal(param.data, before[name])
+
+
+class TestModuleStateDictErrors:
+    def test_load_state_dict_still_validates_directly(self):
+        model = _small_model()
+        state = model.state_dict()
+        state.pop("layers.0.bias")
+        with pytest.raises(KeyError, match="missing"):
+            _small_model().load_state_dict(state)
