@@ -1,0 +1,95 @@
+"""Benchmark T1 — parallel fleet training vs sequential per-star training.
+
+Refreshing a GWAC field means retraining many independent per-star models.
+Each training is pure-Python/numpy compute with zero shared state, so a
+process pool should scale the throughput with the core count.  This
+benchmark trains an 8-star workload twice — sequentially and through a
+:class:`repro.training.FleetTrainer` process pool — and checks
+
+* the parallel run produces *bit-identical* per-star weights (worker-count
+  independence, the subsystem's determinism contract), and
+* on machines with enough cores, a wall-clock speedup of at least 2x
+  (the acceptance criterion; skipped below 4 usable cores, where the
+  speedup is physically unavailable).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+from repro.core import AeroConfig
+from repro.nn.serialization import load_arrays
+from repro.training import FleetTrainer, StarTask
+
+NUM_STARS = 8
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _workload():
+    config = AeroConfig(
+        window=24, short_window=8, d_model=16, num_heads=2,
+        train_stride=3, max_epochs_stage1=4, max_epochs_stage2=3,
+        batch_size=16, learning_rate=5e-3,
+    )
+    rng = np.random.default_rng(0)
+    tasks = [
+        StarTask(star_id=f"star-{i:02d}", series=rng.normal(10.0, 1.0, size=(500, 6)))
+        for i in range(NUM_STARS)
+    ]
+    return config, tasks
+
+
+def _star_weights(report, star_id):
+    arrays = load_arrays(report.result(star_id).checkpoint_path)
+    return {name: value for name, value in arrays.items() if name.startswith("model.")}
+
+
+def test_fleet_training_speedup(tmp_path, benchmark):
+    config, tasks = _workload()
+
+    sequential = FleetTrainer(config, tmp_path / "sequential", executor="serial").train(tasks)
+    assert not sequential.failed
+
+    parallel = run_once(
+        benchmark,
+        FleetTrainer(
+            config, tmp_path / "parallel", workers=WORKERS, executor="process"
+        ).train,
+        tasks,
+    )
+    assert not parallel.failed
+
+    # Determinism: same weights bit for bit, regardless of worker count.
+    for task in tasks:
+        weights_seq = _star_weights(sequential, task.star_id)
+        weights_par = _star_weights(parallel, task.star_id)
+        assert set(weights_seq) == set(weights_par)
+        for name in weights_seq:
+            np.testing.assert_array_equal(weights_seq[name], weights_par[name], err_msg=name)
+
+    speedup = sequential.wall_seconds / parallel.wall_seconds
+    print(
+        f"\nfleet training: {NUM_STARS} stars, sequential {sequential.wall_seconds:.1f}s, "
+        f"{WORKERS} process workers {parallel.wall_seconds:.1f}s -> {speedup:.2f}x "
+        f"({_usable_cores()} usable cores)"
+    )
+    if _usable_cores() < WORKERS:
+        pytest.skip(
+            f"only {_usable_cores()} usable core(s): {MIN_SPEEDUP}x wall-clock speedup "
+            "is physically unavailable (determinism was still verified)"
+        )
+    assert speedup >= MIN_SPEEDUP, (
+        f"parallel fleet training only reached {speedup:.2f}x over sequential "
+        f"(expected >= {MIN_SPEEDUP}x with {WORKERS} workers)"
+    )

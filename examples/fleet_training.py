@@ -1,0 +1,109 @@
+"""Train a shard of stars in parallel, publish, and hot-swap a live fleet.
+
+The full fleet-scale training loop of :mod:`repro.training`:
+
+1. train one detector per star group through a :class:`FleetTrainer` worker
+   pool — per-star seeds, isolated failures, results independent of worker
+   count;
+2. publish every trained artifact into a versioned :class:`ModelRegistry`;
+3. serve live exposures with a :class:`repro.streaming.FleetManager`;
+4. retrain one drifted star *warm-started* from its published weights and
+   publish the refresh as v2;
+5. hot-swap the new version into the running fleet — the ring buffers keep
+   every ingested row, so the very next tick serves the new model's scores.
+
+Run with:  PYTHONPATH=src python examples/fleet_training.py
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AeroConfig
+from repro.streaming import FleetManager
+from repro.training import FleetTrainer, ModelRegistry, StarTask
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    num_stars, num_variates, archive_epochs = 4, 4, 420
+    series = {
+        f"field-{i}": rng.normal(10.0, 1.0, size=(archive_epochs, num_variates))
+        for i in range(num_stars)
+    }
+
+    config = AeroConfig.fast(window=32, short_window=10).scaled(
+        max_epochs_stage1=6, max_epochs_stage2=4, learning_rate=5e-3
+    )
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+    workers = max(1, min(4, cores or 1))
+
+    with tempfile.TemporaryDirectory() as workdir:
+        workdir = Path(workdir)
+        registry = ModelRegistry(workdir / "registry")
+
+        # --- 1./2. parallel training, publishing straight into the registry
+        trainer = FleetTrainer(
+            config,
+            workdir / "artifacts",
+            workers=workers,
+            executor="process" if workers > 1 else "serial",
+            validation_split=0.2,
+            registry=registry,
+        )
+        tasks = [StarTask(star_id=name, series=data) for name, data in series.items()]
+        report = trainer.train(
+            tasks,
+            progress=lambda result, done, total: print(
+                f"  [{done}/{total}] {result.star_id}: {result.status} "
+                f"({result.duration_seconds:.1f}s)"
+            ),
+        )
+        print(report.summary())
+        for name in registry.names():
+            version = registry.latest(name)
+            print(f"  registry: {version.label} (seed {version.metadata['seed']})")
+
+        # --- 3. serve field-0 live -------------------------------------
+        fleet = FleetManager(registry.load_detector("field-0"), num_shards=3)
+        live = rng.normal(10.0, 1.0, size=(6, 3, num_variates))
+        for rows in live:
+            result = fleet.step(rows)
+        print(f"serving v1: tick {result.step}, threshold {result.threshold:.4f}")
+
+        # --- 4. the star drifts: warm-started refresh ------------------
+        drifted = series["field-0"] + rng.normal(0.02, 0.01, size=(archive_epochs, 1))
+        refresh_config = config.scaled(max_epochs_stage1=2, max_epochs_stage2=2)
+        refresh = FleetTrainer(refresh_config, workdir / "refresh", executor="serial").train(
+            [
+                StarTask(
+                    star_id="field-0",
+                    series=drifted,
+                    warm_start=registry.latest("field-0").artifact_path,
+                )
+            ]
+        )
+        refreshed = refresh.result("field-0")
+        print(
+            f"refreshed field-0 in {refreshed.duration_seconds:.1f}s "
+            f"({refreshed.history.stage1_epochs}+{refreshed.history.stage2_epochs} "
+            "warm-started epochs)"
+        )
+        version = registry.publish(
+            "field-0", refreshed.checkpoint_path, metadata={"refresh": "warm-start"}
+        )
+
+        # --- 5. hot-swap into the running fleet ------------------------
+        registry.deploy("field-0", fleet, version=version.version)
+        result = fleet.step(rng.normal(10.0, 1.0, size=(3, num_variates)))
+        assert result.ready, "the swap must not drop buffered state"
+        print(
+            f"serving {version.label}: tick {result.step} scored with the new model "
+            f"(threshold {result.threshold:.4f}), buffers intact"
+        )
+
+
+if __name__ == "__main__":
+    main()

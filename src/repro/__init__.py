@@ -9,7 +9,9 @@ Astronomical Observations" (ICDE 2024).  The package layers:
 * :mod:`repro.core` — the AERO model (the paper's contribution);
 * :mod:`repro.baselines` — the eleven comparison methods;
 * :mod:`repro.experiments` — runners regenerating every table and figure;
-* :mod:`repro.runtime` — compiled tape-free inference plans for serving.
+* :mod:`repro.runtime` — compiled tape-free inference plans for serving;
+* :mod:`repro.training` — resumable sessions, parallel fleet training and
+  the model registry feeding the serving fleet.
 """
 
 from .core import AeroConfig, AeroDetector, AeroModel, build_variant
@@ -24,8 +26,13 @@ from .streaming import (
     StreamingDetector,
     StreamingService,
 )
+from .training import (
+    FleetTrainer,
+    ModelRegistry,
+    TrainingSession,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AeroConfig",
@@ -46,5 +53,8 @@ __all__ = [
     "RingBuffer",
     "StreamingDetector",
     "StreamingService",
+    "TrainingSession",
+    "FleetTrainer",
+    "ModelRegistry",
     "__version__",
 ]

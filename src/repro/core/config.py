@@ -12,7 +12,7 @@ than a GPU deep-learning stack).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["AeroConfig"]
 

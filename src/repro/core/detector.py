@@ -191,8 +191,29 @@ class AeroDetector:
         return window, short
 
     # ------------------------------------------------------------------
-    def fit(self, train: np.ndarray, timestamps: np.ndarray | None = None) -> "AeroDetector":
-        """Train AERO on an unlabeled training series of shape ``(T, N)``."""
+    def fit(
+        self,
+        train: np.ndarray,
+        timestamps: np.ndarray | None = None,
+        *,
+        validation_split: float = 0.0,
+        warm_start: str | Path | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+    ) -> "AeroDetector":
+        """Train AERO on an unlabeled training series of shape ``(T, N)``.
+
+        The keyword-only arguments surface the fleet-scale controls of
+        :class:`repro.training.TrainingSession`: ``validation_split`` holds
+        out the chronologically last fraction of training windows and early
+        stops on their loss (with best-weight restore either way);
+        ``warm_start`` fine-tunes from an existing :meth:`save` artifact
+        instead of training from scratch; ``checkpoint_path`` writes an
+        epoch-level training checkpoint every ``checkpoint_every`` epochs,
+        and ``resume=True`` continues from it bit-identically after an
+        interruption.
+        """
         train = np.asarray(train, dtype=np.float64)
         if train.ndim != 2:
             raise ValueError("training series must be 2-D (time, variates)")
@@ -222,8 +243,16 @@ class AeroDetector:
             timestamps=timestamps,
             stride=config.train_stride,
         )
-        trainer = AeroTrainer(config, verbose=self.verbose)
-        self.history = trainer.train(self.model, window_dataset)
+        trainer = AeroTrainer(
+            config,
+            verbose=self.verbose,
+            validation_split=validation_split,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+        )
+        self.history = trainer.train(
+            self.model, window_dataset, resume=resume, warm_start=warm_start
+        )
         self.config = config
 
         # Keep the tail of the training series as context so that the first
@@ -408,6 +437,16 @@ class AeroDetector:
         if self.history is not None:
             arrays["history.stage1"] = np.asarray(self.history.stage1_losses, dtype=np.float64)
             arrays["history.stage2"] = np.asarray(self.history.stage2_losses, dtype=np.float64)
+            arrays["history.stage1_val"] = np.asarray(
+                self.history.stage1_val_losses, dtype=np.float64
+            )
+            arrays["history.stage2_val"] = np.asarray(
+                self.history.stage2_val_losses, dtype=np.float64
+            )
+            arrays["history.best_epochs"] = np.asarray(
+                [self.history.stage1_best_epoch, self.history.stage2_best_epoch],
+                dtype=np.int64,
+            )
         for name, value in model.state_dict().items():
             arrays[f"model.{name}"] = value
         return save_arrays(path, arrays)
@@ -501,9 +540,18 @@ class AeroDetector:
                 arrays["context.train_tail_times"], dtype=np.float64
             )
         if "history.stage1" in arrays:
+            best = arrays.get("history.best_epochs", np.zeros(2, dtype=np.int64))
             detector.history = TrainingHistory(
                 stage1_losses=arrays["history.stage1"].tolist(),
                 stage2_losses=arrays["history.stage2"].tolist(),
+                stage1_val_losses=arrays.get(
+                    "history.stage1_val", np.empty(0)
+                ).tolist(),
+                stage2_val_losses=arrays.get(
+                    "history.stage2_val", np.empty(0)
+                ).tolist(),
+                stage1_best_epoch=int(best[0]),
+                stage2_best_epoch=int(best[1]),
             )
         return detector
 

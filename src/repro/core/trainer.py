@@ -6,138 +6,82 @@ anomalies and concurrent noise stand out as large errors.  Stage 2 freezes
 stage 1 and trains the concurrent-noise reconstruction module to minimise
 ``|| Y - Y_hat_1 - Y_hat_2 ||``, which teaches the GCN to explain exactly the
 correlated (noise) part of the residual.  Both stages use Adam and stop early
-when the loss stops improving for ``patience`` epochs.
+when the loss stops improving for ``patience`` epochs, restoring the
+best-loss weights of each stage.
+
+The loop itself lives in :class:`repro.training.TrainingSession`, which adds
+epoch-level checkpoint/resume, validation-split early stopping and warm
+starting; :class:`AeroTrainer` is the thin configuration-driven front door
+kept for the original ``trainer.train(model, windows)`` call shape.
+:class:`TrainingHistory` and :class:`EarlyStopping` are re-exported from
+their new home for backward compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from pathlib import Path
 
-import numpy as np
-
-from ..nn import Adam, Tensor, clip_grad_norm, mse_loss, no_grad
+from ..training.session import EarlyStopping, TrainingHistory, TrainingSession
 from .config import AeroConfig
 from .model import AeroModel
 
 __all__ = ["TrainingHistory", "EarlyStopping", "AeroTrainer"]
 
 
-@dataclass
-class TrainingHistory:
-    """Per-epoch losses of both training stages."""
-
-    stage1_losses: list[float] = field(default_factory=list)
-    stage2_losses: list[float] = field(default_factory=list)
-
-    @property
-    def stage1_epochs(self) -> int:
-        return len(self.stage1_losses)
-
-    @property
-    def stage2_epochs(self) -> int:
-        return len(self.stage2_losses)
-
-
-class EarlyStopping:
-    """Stop training when the loss has not improved for ``patience`` epochs."""
-
-    def __init__(self, patience: int = 5, min_delta: float = 1e-5):
-        if patience < 1:
-            raise ValueError("patience must be at least 1")
-        self.patience = patience
-        self.min_delta = min_delta
-        self.best_loss = np.inf
-        self.epochs_without_improvement = 0
-
-    def step(self, loss: float) -> bool:
-        """Record one epoch's loss; return ``True`` if training should stop."""
-        if loss < self.best_loss - self.min_delta:
-            self.best_loss = loss
-            self.epochs_without_improvement = 0
-            return False
-        self.epochs_without_improvement += 1
-        return self.epochs_without_improvement >= self.patience
-
-
 class AeroTrainer:
-    """Runs the two-stage training loop of Algorithm 1 over a window dataset."""
+    """Runs the two-stage training loop of Algorithm 1 over a window dataset.
 
-    def __init__(self, config: AeroConfig, verbose: bool = False):
+    Parameters
+    ----------
+    config:
+        Hyperparameters (optimizer settings, epoch limits, seed).
+    verbose:
+        Log per-epoch lines at INFO level on the ``repro.training`` logger
+        (DEBUG otherwise).
+    validation_split:
+        Optional chronological holdout fraction of the training windows;
+        when non-zero, early stopping monitors the holdout loss.
+    checkpoint_path / checkpoint_every:
+        Epoch-level training checkpoints (see
+        :meth:`repro.training.TrainingSession.save_checkpoint`).
+    """
+
+    def __init__(
+        self,
+        config: AeroConfig,
+        verbose: bool = False,
+        validation_split: float = 0.0,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 1,
+    ):
         self.config = config
         self.verbose = verbose
+        self.validation_split = validation_split
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
 
     # ------------------------------------------------------------------
-    def _log(self, message: str) -> None:
-        if self.verbose:
-            print(message)
+    def train(
+        self,
+        model: AeroModel,
+        window_dataset,
+        resume: bool = False,
+        warm_start: str | Path | None = None,
+    ) -> TrainingHistory:
+        """Train ``model`` on the windows of ``window_dataset`` (a ``WindowDataset``).
 
-    def _stage1_epoch(self, model: AeroModel, window_dataset, optimizer, rng) -> float:
-        losses = []
-        for batch in window_dataset.batches(self.config.batch_size, shuffle=True, rng=rng):
-            target = model._target(batch.long, batch.short)
-            prediction = model.temporal_forward(
-                batch.long, batch.short, batch.long_times, batch.short_times
-            )
-            loss = mse_loss(prediction, Tensor(target))
-            optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(model.temporal.parameters(), self.config.grad_clip)
-            optimizer.step()
-            losses.append(loss.item())
-        return float(np.mean(losses)) if losses else 0.0
-
-    def _stage2_epoch(self, model: AeroModel, window_dataset, optimizer, rng) -> float:
-        losses = []
-        for batch in window_dataset.batches(self.config.batch_size, shuffle=True, rng=rng):
-            target = model._target(batch.long, batch.short)
-            if model.temporal is not None:
-                with no_grad():
-                    reconstruction = model.temporal_forward(
-                        batch.long, batch.short, batch.long_times, batch.short_times
-                    ).data
-            else:
-                reconstruction = np.zeros_like(target)
-            errors = target - reconstruction
-            noise_prediction = model.noise_forward(errors, target)
-            # loss_2 = || Y - Y_hat_1 - Y_hat_2 ||  (Eq. 16), with M1 frozen.
-            loss = mse_loss(noise_prediction, Tensor(errors))
-            optimizer.zero_grad()
-            loss.backward()
-            clip_grad_norm(model.noise.parameters(), self.config.grad_clip)
-            optimizer.step()
-            losses.append(loss.item())
-        return float(np.mean(losses)) if losses else 0.0
-
-    # ------------------------------------------------------------------
-    def train(self, model: AeroModel, window_dataset) -> TrainingHistory:
-        """Train ``model`` on the windows of ``window_dataset`` (a ``WindowDataset``)."""
-        history = TrainingHistory()
-        rng = np.random.default_rng(self.config.seed)
-        model.train()
-
-        if model.temporal is not None:
-            optimizer = Adam(model.temporal.parameters(), lr=self.config.learning_rate)
-            stopper = EarlyStopping(self.config.patience, self.config.min_delta)
-            for epoch in range(self.config.max_epochs_stage1):
-                loss = self._stage1_epoch(model, window_dataset, optimizer, rng)
-                history.stage1_losses.append(loss)
-                self._log(f"[stage 1] epoch {epoch + 1}: loss = {loss:.6f}")
-                if stopper.step(loss):
-                    self._log(f"[stage 1] early stop at epoch {epoch + 1}")
-                    break
-
-        if model.noise is not None:
-            optimizer = Adam(model.noise.parameters(), lr=self.config.learning_rate)
-            stopper = EarlyStopping(self.config.patience, self.config.min_delta)
-            if model.noise.graph_mode == "dynamic":
-                model.noise.reset_dynamic_state()
-            for epoch in range(self.config.max_epochs_stage2):
-                loss = self._stage2_epoch(model, window_dataset, optimizer, rng)
-                history.stage2_losses.append(loss)
-                self._log(f"[stage 2] epoch {epoch + 1}: loss = {loss:.6f}")
-                if stopper.step(loss):
-                    self._log(f"[stage 2] early stop at epoch {epoch + 1}")
-                    break
-
-        model.eval()
-        return history
+        ``resume=True`` continues from ``checkpoint_path`` when it exists
+        (bit-identical to an uninterrupted run); ``warm_start`` initialises
+        the weights from an existing detector checkpoint before training a
+        fresh session (ignored when resuming from a session checkpoint).
+        """
+        session = TrainingSession(
+            model,
+            window_dataset,
+            self.config,
+            validation_split=self.validation_split,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            verbose=self.verbose,
+        )
+        return session.run(resume=resume, warm_start=warm_start)

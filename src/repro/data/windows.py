@@ -136,6 +136,54 @@ class WindowDataset:
             end,
         )
 
+    def subset(self, indices: np.ndarray) -> "WindowDataset":
+        """A view over a subset of this dataset's windows (shared series).
+
+        ``indices`` selects window positions (0-based, into the current
+        window list).  The returned dataset shares the underlying series and
+        timestamps — no rows are copied — and iterates only the selected
+        windows.  Used by :class:`repro.training.TrainingSession` to carve a
+        validation holdout out of the training windows.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValueError("indices must be 1-D")
+        if len(indices) and (indices.min() < 0 or indices.max() >= len(self)):
+            raise IndexError(
+                f"window indices must be in [0, {len(self)}), got range "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        other = object.__new__(WindowDataset)
+        other.series = self.series
+        other.window = self.window
+        other.short_window = self.short_window
+        other.stride = self.stride
+        other.timestamps = self.timestamps
+        other.end_indices = self.end_indices[indices]
+        return other
+
+    def split(self, holdout_fraction: float) -> tuple["WindowDataset", "WindowDataset"]:
+        """Time-ordered ``(train, holdout)`` split of the window list.
+
+        The *last* ``ceil(holdout_fraction * len(self))`` windows form the
+        holdout — a chronological split, the only sound validation protocol
+        for overlapping sliding windows (a shuffled split would leak almost
+        every holdout timestamp into training).  Both splits share the
+        underlying series.  ``holdout_fraction`` must leave at least one
+        training window.
+        """
+        if not 0.0 <= holdout_fraction < 1.0:
+            raise ValueError(f"holdout_fraction must be in [0, 1), got {holdout_fraction}")
+        total = len(self)
+        holdout = int(np.ceil(holdout_fraction * total)) if holdout_fraction else 0
+        if total - holdout < 1:
+            raise ValueError(
+                f"holdout_fraction={holdout_fraction} leaves no training windows "
+                f"(dataset has {total})"
+            )
+        cut = total - holdout
+        return self.subset(np.arange(cut)), self.subset(np.arange(cut, total))
+
     def batches(self, batch_size: int, shuffle: bool = False, rng: np.random.Generator | None = None) -> Iterator[WindowBatch]:
         """Yield :class:`WindowBatch` objects of up to ``batch_size`` windows."""
         if batch_size <= 0:

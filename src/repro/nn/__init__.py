@@ -32,7 +32,14 @@ from .graph import GCNLayer, GraphAttentionLayer, normalize_adjacency
 from .conv import Conv1d, Conv2d
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .losses import mse_loss, mae_loss, huber_loss, gaussian_nll, kl_divergence_normal
-from .serialization import save_module, load_module, save_arrays, load_arrays
+from .serialization import (
+    save_module,
+    load_module,
+    save_optimizer,
+    load_optimizer,
+    save_arrays,
+    load_arrays,
+)
 from . import init
 
 __all__ = [
@@ -77,6 +84,8 @@ __all__ = [
     "kl_divergence_normal",
     "save_module",
     "load_module",
+    "save_optimizer",
+    "load_optimizer",
     "save_arrays",
     "load_arrays",
     "init",

@@ -43,6 +43,41 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # (de)serialization — required for resumable training sessions: Adam's
+    # moment estimates (and SGD's velocity) are part of the training
+    # trajectory, so a checkpoint without them cannot resume bit-identically.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a copy of the optimizer's internal state as flat arrays.
+
+        Hyperparameters (learning rate, betas, ...) are *not* included; they
+        are reconstructed from the configuration that builds the optimizer.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore internal state produced by :meth:`state_dict`."""
+        self._check_state_keys(state, expected=set())
+
+    def _check_state_keys(self, state: dict[str, np.ndarray], expected: set[str]) -> None:
+        missing = sorted(expected - set(state))
+        unexpected = sorted(set(state) - expected)
+        if missing or unexpected:
+            raise KeyError(
+                f"{type(self).__name__} state mismatch: "
+                f"missing={missing} unexpected={unexpected}"
+            )
+
+    @staticmethod
+    def _load_slot(slots: list[np.ndarray], index: int, value: np.ndarray, name: str) -> None:
+        value = np.asarray(value, dtype=slots[index].dtype)
+        if value.shape != slots[index].shape:
+            raise ValueError(
+                f"shape mismatch for {name}: expected {slots[index].shape}, got {value.shape}"
+            )
+        slots[index] = value.copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum and weight decay."""
@@ -58,6 +93,15 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        expected = {f"velocity.{i}" for i in range(len(self.parameters))}
+        self._check_state_keys(state, expected)
+        for i in range(len(self.parameters)):
+            self._load_slot(self._velocity, i, state[f"velocity.{i}"], f"velocity.{i}")
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -93,6 +137,27 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {"step": np.asarray(self._step, dtype=np.int64)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        expected = {"step"}
+        for i in range(len(self.parameters)):
+            expected.add(f"m.{i}")
+            expected.add(f"v.{i}")
+        self._check_state_keys(state, expected)
+        step = np.asarray(state["step"])
+        if step.shape != () or int(step) < 0:
+            raise ValueError(f"Adam step count must be a non-negative scalar, got {step!r}")
+        for i in range(len(self.parameters)):
+            self._load_slot(self._m, i, state[f"m.{i}"], f"m.{i}")
+            self._load_slot(self._v, i, state[f"v.{i}"], f"v.{i}")
+        self._step = int(step)
 
     def step(self) -> None:
         self._step += 1

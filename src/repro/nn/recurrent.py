@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from . import init
 from .layers import Linear
 from .module import Module
 from .tensor import Tensor

@@ -1,9 +1,12 @@
 """Saving and loading model parameters to/from ``.npz`` archives.
 
 ``save_module``/``load_module`` persist one :class:`~repro.nn.Module`;
-``save_arrays``/``load_arrays`` are the underlying flat-archive helpers,
-reused by higher-level checkpoints (e.g. ``AeroDetector.save()``, which
-stores model weights, scaler statistics and POT state in one artifact).
+``save_optimizer``/``load_optimizer`` do the same for an
+:class:`~repro.nn.Optimizer` (Adam moments, SGD velocity) so that a training
+session can resume bit-identically; ``save_arrays``/``load_arrays`` are the
+underlying flat-archive helpers, reused by higher-level checkpoints (e.g.
+``AeroDetector.save()`` and ``TrainingSession.save_checkpoint()``, which
+store several components in one artifact).
 
 All loaders validate eagerly and raise descriptive errors — a missing
 file, a corrupt archive, missing/unexpected parameters or a shape mismatch
@@ -14,12 +17,23 @@ failure deep inside ``load_state_dict``.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_module", "load_module", "save_arrays", "load_arrays"]
+if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
+    from .optim import Optimizer
+
+__all__ = [
+    "save_module",
+    "load_module",
+    "save_optimizer",
+    "load_optimizer",
+    "save_arrays",
+    "load_arrays",
+]
 
 
 def save_arrays(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
@@ -92,6 +106,34 @@ def load_module(module: Module, path: str | Path) -> Module:
 
     module.load_state_dict(state)
     return module
+
+
+def save_optimizer(optimizer: "Optimizer", path: str | Path) -> Path:
+    """Persist an optimizer's internal state into a compressed ``.npz`` file.
+
+    Only the state (Adam step count and moment estimates, SGD velocity) is
+    stored; hyperparameters are reconstructed from the configuration that
+    rebuilds the optimizer before :func:`load_optimizer` restores the state.
+    """
+    return save_arrays(path, optimizer.state_dict())
+
+
+def load_optimizer(optimizer: "Optimizer", path: str | Path) -> "Optimizer":
+    """Load state saved by :func:`save_optimizer` into ``optimizer`` in place.
+
+    The optimizer must already hold the same parameter list (same count and
+    shapes) as the one that was saved; mismatches raise with the checkpoint
+    path and the offending keys.
+    """
+    path = Path(path)
+    state = load_arrays(path)
+    try:
+        optimizer.load_state_dict(state)
+    except (KeyError, ValueError) as error:
+        raise type(error)(
+            f"checkpoint {path} does not match {type(optimizer).__name__}: {error}"
+        ) from error
+    return optimizer
 
 
 def _preview(items: list[str], limit: int = 5) -> str:

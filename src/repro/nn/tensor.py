@@ -19,13 +19,16 @@ paper's reference implementation.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Grad mode is *per thread* (like torch's): concurrent training sessions —
+# e.g. a FleetTrainer thread pool — must not see each other's no_grad blocks.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
@@ -33,22 +36,22 @@ class no_grad:
 
     Mirrors ``torch.no_grad``.  While active, newly created tensors do not
     record the computation graph, which makes inference significantly cheaper.
+    The flag is thread-local, so parallel training/inference threads are
+    isolated from one another.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_val, exc_tb) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _GRAD_STATE.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient tracking is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient tracking is currently enabled (in this thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -84,7 +87,7 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and getattr(_GRAD_STATE, "enabled", True)
         self.grad: np.ndarray | None = None
         self._backward: Callable[[], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -148,7 +151,9 @@ class Tensor:
         ``backward`` maps the output gradient to one gradient per parent
         (``None`` for parents that do not require gradients).
         """
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = getattr(_GRAD_STATE, "enabled", True) and any(
+            p.requires_grad for p in parents
+        )
         out = cls(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)

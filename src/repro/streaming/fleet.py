@@ -22,7 +22,12 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from .alerts import Alert, AlertPolicy
-from .online_detector import resolve_backend_engine
+from .online_detector import (
+    check_swap_compatible,
+    rescale_buffer_rows,
+    resolve_backend_engine,
+    resolve_swap_source,
+)
 from .timeline import seed_stream_state
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
@@ -90,6 +95,7 @@ class FleetManager:
         self.config = detector.config
         self.num_shards = num_shards
         self.num_variates = model.num_variates
+        self._scaler = detector.scaler
         self.threshold = detector.threshold()
         self.alert_policy = alert_policy or AlertPolicy()
         self._engine = resolve_backend_engine(detector, backend)
@@ -123,6 +129,44 @@ class FleetManager:
         return self._step
 
     # ------------------------------------------------------------------
+    def swap_model(self, source) -> None:
+        """Hot-swap the fleet's serving model without dropping buffered state.
+
+        ``source`` is a fitted :class:`~repro.core.AeroDetector`, a
+        :class:`~repro.runtime.CompiledDetector`, or a path to a saved
+        detector artifact — e.g. a freshly retrained model published through
+        a :class:`repro.training.ModelRegistry`.  The new model must serve
+        the same variates and window geometry (dynamic-graph detectors stay
+        rejected, as at construction).  Every shard's ring buffer is
+        re-expressed under the new model's scaler in place, so the next
+        :meth:`step` serves the new model's scores with the full window
+        history intact; the shared timeline and alert-policy state carry
+        over unchanged.
+        """
+        target = resolve_swap_source(
+            source,
+            prefer_compiled=self._engine is not None,
+            dtype=None if self._engine is None else self._engine.dtype,
+        )
+        check_swap_compatible(target, self.num_variates, self.config)
+        if target.graph_mode == "dynamic":
+            raise ValueError("FleetManager does not support graph_mode='dynamic' detectors")
+        rescale_buffer_rows(self._buffers, self._scaler, target.scaler)
+
+        self.detector = target.detector
+        self.config = target.config
+        self._scaler = target.scaler
+        self._engine = target.engine
+        self.backend = "autograd" if self._engine is None else "compiled"
+        self.threshold = target.threshold
+        # The staging array of the other backend kind may not exist yet.
+        window = self.config.window
+        if self._engine is None and not hasattr(self, "_batch_long"):
+            self._batch_long = np.empty((self.num_shards, self.num_variates, window))
+        if self._engine is not None and not hasattr(self, "_batch_stack"):
+            self._batch_stack = np.empty((self.num_shards, window, self.num_variates))
+
+    # ------------------------------------------------------------------
     def step(self, rows: np.ndarray, timestamp: float | None = None) -> FleetStepResult:
         """Ingest one exposure: ``rows`` has shape ``(num_shards, N)``.
 
@@ -134,7 +178,7 @@ class FleetManager:
             raise ValueError(
                 f"rows must have shape ({self.num_shards}, {self.num_variates}), got {rows.shape}"
             )
-        scaled = self.detector.scaler.transform(rows)
+        scaled = self._scaler.transform(rows)
         times = self._timeline.resolve(1, None if timestamp is None else [timestamp])
         self._timeline.append(times[0])
 

@@ -24,6 +24,7 @@ single batch ``score()`` call over the same windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -34,7 +35,12 @@ from .timeline import seed_stream_state
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from ..core.detector import AeroDetector
 
-__all__ = ["StreamingDetector", "StreamStepResult", "resolve_backend_engine"]
+__all__ = [
+    "StreamingDetector",
+    "StreamStepResult",
+    "resolve_backend_engine",
+    "resolve_swap_source",
+]
 
 
 def resolve_backend_engine(detector: "AeroDetector", backend):
@@ -63,6 +69,102 @@ def resolve_backend_engine(detector: "AeroDetector", backend):
             f"detector has {detector.model.num_variates}"
         )
     return backend
+
+
+@dataclass
+class SwapTarget:
+    """Resolved ingredients of a model hot-swap (see :func:`resolve_swap_source`)."""
+
+    detector: "AeroDetector | None"   # None when serving a compiled plan only
+    engine: "object | None"           # CompiledDetector, or None for autograd
+    scaler: object
+    threshold: float
+    config: object
+    num_variates: int
+    graph_mode: str | None
+
+
+def resolve_swap_source(source, *, prefer_compiled: bool, dtype=None) -> SwapTarget:
+    """Resolve a hot-swap ``source`` into the pieces a front-end swaps in.
+
+    ``source`` may be a fitted :class:`repro.core.AeroDetector`, a
+    pre-built :class:`repro.runtime.CompiledDetector` (e.g. float32 plans),
+    or a ``str``/``Path`` to an :meth:`AeroDetector.save` artifact — which
+    is exactly what a :class:`repro.training.ModelRegistry` version stores.
+    With ``prefer_compiled`` (the front-end currently serves compiled
+    plans), a detector source is compiled with ``dtype`` — pass the current
+    engine's dtype so both the backend kind *and* its precision mode are
+    preserved across the swap.
+    """
+    from ..runtime import CompiledDetector
+
+    if isinstance(source, (str, Path)):
+        from ..core.detector import AeroDetector
+
+        source = AeroDetector.load(source)
+    if isinstance(source, CompiledDetector):
+        return SwapTarget(
+            detector=None,
+            engine=source,
+            scaler=source.scaler,
+            threshold=source.threshold,
+            config=source.config,
+            num_variates=source.num_variates,
+            graph_mode=source.model.graph_mode,
+        )
+    model = getattr(source, "_require_fitted", None)
+    if model is None:
+        raise TypeError(
+            "swap source must be a fitted AeroDetector, a CompiledDetector or a "
+            f"checkpoint path, got {type(source).__name__}"
+        )
+    fitted = model()
+    engine = None
+    if prefer_compiled:
+        engine = source.compile() if dtype is None else source.compile(dtype=dtype)
+    return SwapTarget(
+        detector=source,
+        engine=engine,
+        scaler=source.scaler,
+        threshold=source.threshold(),
+        config=source.config,
+        num_variates=fitted.num_variates,
+        graph_mode=None if fitted.noise is None else fitted.noise.graph_mode,
+    )
+
+
+def rescale_buffer_rows(buffers, old_scaler, new_scaler) -> None:
+    """Re-express buffered scaled rows under a new scaler, in place.
+
+    Streaming buffers hold rows normalised by the *serving* model's scaler;
+    swapping in a model fitted on fresher data means a (slightly) different
+    min/max calibration.  Mapping the retained rows back to raw magnitudes
+    and through the new scaler keeps the whole window history valid, so the
+    very next tick scores with the new model — no warm-up, nothing dropped.
+    """
+    for buffer in buffers:
+        rows = buffer.view()
+        if len(rows):
+            rows[:] = new_scaler.transform(old_scaler.inverse_transform(rows))
+
+
+def check_swap_compatible(target: SwapTarget, num_variates: int, config) -> None:
+    """Validate that a swap target fits the live stream's geometry."""
+    if target.num_variates != num_variates:
+        raise ValueError(
+            f"cannot hot-swap: new model serves {target.num_variates} variates, "
+            f"stream has {num_variates}"
+        )
+    if (
+        target.config.window != config.window
+        or target.config.short_window != config.short_window
+    ):
+        raise ValueError(
+            "cannot hot-swap: window geometry changed "
+            f"(W={target.config.window}, omega={target.config.short_window} vs "
+            f"serving W={config.window}, omega={config.short_window}); "
+            "start a fresh stream for the new geometry"
+        )
 
 
 @dataclass
@@ -125,6 +227,7 @@ class StreamingDetector:
         self.detector = detector
         self.config = detector.config
         self.num_variates = model.num_variates
+        self._scaler = detector.scaler
         self._engine = resolve_backend_engine(detector, backend)
         self.backend = "autograd" if self._engine is None else "compiled"
 
@@ -156,6 +259,42 @@ class StreamingDetector:
         """Whether the buffer holds a full window (scores are being emitted)."""
         return self._buffer.is_full
 
+    # ------------------------------------------------------------------
+    def swap_model(self, source) -> None:
+        """Hot-swap the serving model without dropping buffered state.
+
+        ``source`` is a fitted :class:`~repro.core.AeroDetector`, a
+        :class:`~repro.runtime.CompiledDetector`, or a path to a saved
+        detector artifact (e.g. ``ModelRegistry.latest(...).artifact_path``).
+        The new model must serve the same variates and window geometry.  The
+        retained window history is re-expressed under the new model's scaler,
+        so the very next :meth:`step` emits the new model's scores — no
+        warm-up gap, no dropped rows.  The fixed threshold switches to the
+        new model's POT calibration; an adaptive POT keeps its state and
+        continues adapting.
+        """
+        target = resolve_swap_source(
+            source,
+            prefer_compiled=self._engine is not None,
+            dtype=None if self._engine is None else self._engine.dtype,
+        )
+        check_swap_compatible(target, self.num_variates, self.config)
+        rescale_buffer_rows([self._buffer], self._scaler, target.scaler)
+
+        self.detector = target.detector
+        self.config = target.config
+        self._scaler = target.scaler
+        self._engine = target.engine
+        self.backend = "autograd" if self._engine is None else "compiled"
+        self.threshold = target.threshold
+        if target.graph_mode == "dynamic":
+            # A dynamic-graph model starts its smoothed-adjacency state fresh,
+            # exactly as a newly constructed stream would.
+            if target.detector is not None:
+                target.detector.model.noise.reset_dynamic_state()
+            if self._engine is not None:
+                self._engine.reset_dynamic_state()
+
     def step(self, row: np.ndarray, timestamp: float | None = None) -> StreamStepResult:
         """Ingest one observation row of shape ``(N,)`` and emit its scores."""
         results = self.step_many(
@@ -182,7 +321,7 @@ class StreamingDetector:
         if count == 0:
             return []
         times = self._timeline.resolve(count, timestamps)
-        scaled = self.detector.scaler.transform(rows)
+        scaled = self._scaler.transform(rows)
 
         window = self.config.window
         short = self.config.short_window

@@ -1,0 +1,34 @@
+"""Fleet-scale training subsystem: resumable sessions, parallel orchestration.
+
+The training-side counterpart of :mod:`repro.streaming` and
+:mod:`repro.runtime`: where those scale *serving* to many stars, this
+package scales *producing and refreshing* the models behind them.
+
+* :mod:`~repro.training.session` — :class:`TrainingSession`, the two-stage
+  loop of Algorithm 1 with epoch-level checkpoint/resume (bit-identical),
+  validation-split early stopping, best-weight restore and warm starting;
+* :mod:`~repro.training.fleet` — :class:`FleetTrainer`, worker-pool
+  orchestration of many per-star trainings with deterministic per-star
+  seeds and isolated failures;
+* :mod:`~repro.training.registry` — :class:`ModelRegistry`, versioned
+  on-disk artifacts feeding the serving fleet, including hot swaps into a
+  running :class:`~repro.streaming.FleetManager`.
+
+Everything logs under the ``repro.training`` logger namespace.
+"""
+
+from .session import EarlyStopping, TrainingHistory, TrainingSession
+from .fleet import FleetTrainer, FleetTrainingReport, StarResult, StarTask
+from .registry import ModelRegistry, ModelVersion
+
+__all__ = [
+    "TrainingSession",
+    "TrainingHistory",
+    "EarlyStopping",
+    "FleetTrainer",
+    "FleetTrainingReport",
+    "StarTask",
+    "StarResult",
+    "ModelRegistry",
+    "ModelVersion",
+]

@@ -1,0 +1,315 @@
+"""Parallel multi-star training orchestration.
+
+A GWAC-scale deployment refreshes thousands of per-field detectors per day;
+driving :meth:`AeroDetector.fit` star by star leaves every other core idle.
+:class:`FleetTrainer` fans a list of :class:`StarTask` workloads out over a
+worker pool (process-based by default — the numpy autodiff substrate is
+mostly GIL-bound Python, so threads only help on BLAS-heavy shapes) and
+collects one :class:`StarResult` per star.
+
+Determinism contract: every star trains under its *own* seed, derived only
+from the task order (``base_seed + index``) or given explicitly, and tasks
+share no mutable state — so the trained weights are bit-identical regardless
+of worker count, executor kind or completion order.  Failures are isolated:
+one diverging star produces a ``failed`` result with the error message, the
+rest of the fleet trains on.
+
+Each trained detector is saved as a standard ``AeroDetector.save()``
+artifact under ``output_dir`` (and optionally published straight into a
+:class:`~repro.training.registry.ModelRegistry`), which is what the serving
+fleet hot-swaps from.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
+
+import numpy as np
+
+from .session import TrainingHistory
+
+if TYPE_CHECKING:  # pragma: no cover - imports only for type checkers
+    from ..core.config import AeroConfig
+    from .registry import ModelRegistry
+
+__all__ = ["StarTask", "StarResult", "FleetTrainingReport", "FleetTrainer"]
+
+logger = logging.getLogger("repro.training.fleet")
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass
+class StarTask:
+    """One star (or star group) to train.
+
+    ``series`` is the unlabeled training series of shape ``(T, N)``.
+    ``seed`` overrides the fleet's derived per-star seed; ``warm_start``
+    points at an existing detector checkpoint to fine-tune from (the drifted
+    -star refresh path); ``detector_kwargs`` selects an ablation variant or
+    other :class:`~repro.core.AeroDetector` flags.
+    """
+
+    star_id: str
+    series: np.ndarray
+    timestamps: np.ndarray | None = None
+    seed: int | None = None
+    warm_start: str | Path | None = None
+    detector_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class StarResult:
+    """Outcome of one star's training run."""
+
+    star_id: str
+    status: str                        # "trained" | "failed"
+    seed: int
+    checkpoint_path: Path | None = None
+    history: TrainingHistory | None = None
+    duration_seconds: float = 0.0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "trained"
+
+
+@dataclass
+class FleetTrainingReport:
+    """All per-star results of one :meth:`FleetTrainer.train` call."""
+
+    results: list[StarResult]
+    wall_seconds: float
+    workers: int
+    executor: str
+
+    @property
+    def trained(self) -> list[StarResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> list[StarResult]:
+        return [r for r in self.results if not r.ok]
+
+    def result(self, star_id: str) -> StarResult:
+        for result in self.results:
+            if result.star_id == star_id:
+                return result
+        raise KeyError(f"no result for star {star_id!r}")
+
+    def summary(self) -> str:
+        cpu = sum(r.duration_seconds for r in self.results)
+        return (
+            f"{len(self.trained)}/{len(self.results)} stars trained "
+            f"({len(self.failed)} failed) in {self.wall_seconds:.1f}s wall "
+            f"/ {cpu:.1f}s cpu on {self.workers} {self.executor} worker(s)"
+        )
+
+
+def _train_star(
+    task: StarTask,
+    config: "AeroConfig",
+    seed: int,
+    output_dir: str,
+    validation_split: float,
+) -> StarResult:
+    """Train one star end to end; module-level so process pools can pickle it."""
+    from ..core.detector import AeroDetector
+
+    start = time.perf_counter()
+    try:
+        detector = AeroDetector(config=config.scaled(seed=seed), **task.detector_kwargs)
+        detector.fit(
+            task.series,
+            task.timestamps,
+            validation_split=validation_split,
+            warm_start=task.warm_start,
+        )
+        path = detector.save(Path(output_dir) / f"{task.star_id}.npz")
+        return StarResult(
+            star_id=task.star_id,
+            status="trained",
+            seed=seed,
+            checkpoint_path=path,
+            history=detector.history,
+            duration_seconds=time.perf_counter() - start,
+        )
+    except Exception as error:  # noqa: BLE001 - failures must not sink the fleet
+        return StarResult(
+            star_id=task.star_id,
+            status="failed",
+            seed=seed,
+            duration_seconds=time.perf_counter() - start,
+            error="".join(traceback.format_exception_only(type(error), error)).strip(),
+        )
+
+
+class FleetTrainer:
+    """Trains many independent per-star detectors through a worker pool.
+
+    Parameters
+    ----------
+    config:
+        Base :class:`~repro.core.AeroConfig`; each star trains under a copy
+        with its own seed.
+    output_dir:
+        Directory receiving one ``<star_id>.npz`` detector artifact per
+        trained star.
+    workers:
+        Pool size (default 1).  Results are identical for any value.
+    executor:
+        ``"process"`` (default), ``"thread"``, or ``"serial"`` (in-process
+        loop, no pool — useful for debugging and tiny fleets).
+    base_seed:
+        Per-star seeds default to ``base_seed + task_index``; ``None`` uses
+        ``config.seed`` as the base.
+    validation_split:
+        Forwarded to every star's training session.
+    registry:
+        Optional :class:`~repro.training.registry.ModelRegistry`; every
+        trained star is published under its ``star_id``.
+    """
+
+    def __init__(
+        self,
+        config: "AeroConfig",
+        output_dir: str | Path,
+        *,
+        workers: int = 1,
+        executor: str = "process",
+        base_seed: int | None = None,
+        validation_split: float = 0.0,
+        registry: "ModelRegistry | None" = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        self.config = config
+        self.output_dir = Path(output_dir)
+        self.workers = workers
+        self.executor = executor
+        self.base_seed = config.seed if base_seed is None else base_seed
+        self.validation_split = validation_split
+        self.registry = registry
+
+    # ------------------------------------------------------------------
+    def _normalize_tasks(
+        self, tasks: Iterable[StarTask] | Mapping[str, np.ndarray]
+    ) -> list[StarTask]:
+        if isinstance(tasks, Mapping):
+            tasks = [StarTask(star_id=str(star_id), series=series) for star_id, series in tasks.items()]
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("no tasks to train")
+        seen: set[str] = set()
+        for task in tasks:
+            if not task.star_id:
+                raise ValueError("every task needs a non-empty star_id")
+            if task.star_id in seen:
+                raise ValueError(f"duplicate star_id {task.star_id!r}")
+            seen.add(task.star_id)
+        return tasks
+
+    def _seed_for(self, task: StarTask, index: int) -> int:
+        return task.seed if task.seed is not None else self.base_seed + index
+
+    def _make_pool(self) -> Executor | None:
+        if self.executor == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        if self.executor == "process":
+            return ProcessPoolExecutor(max_workers=self.workers)
+        return None
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        tasks: Iterable[StarTask] | Mapping[str, np.ndarray],
+        progress: Callable[[StarResult, int, int], None] | None = None,
+    ) -> FleetTrainingReport:
+        """Train every task; returns results in task order.
+
+        ``progress`` (if given) is called in the parent process as each star
+        finishes, with ``(result, completed_count, total)`` — completion
+        order, not task order.
+        """
+        tasks = self._normalize_tasks(tasks)
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        total = len(tasks)
+        start = time.perf_counter()
+        results: list[StarResult | None] = [None] * total
+        completed = 0
+
+        def finish(index: int, result: StarResult) -> None:
+            nonlocal completed
+            completed += 1
+            results[index] = result
+            if result.ok:
+                logger.info(
+                    "[fleet] %s trained in %.1fs (%d/%d)",
+                    result.star_id, result.duration_seconds, completed, total,
+                )
+                if self.registry is not None:
+                    self.registry.publish(
+                        result.star_id,
+                        result.checkpoint_path,
+                        metadata={"seed": result.seed, "source": "FleetTrainer"},
+                    )
+            else:
+                logger.warning(
+                    "[fleet] %s FAILED after %.1fs (%d/%d): %s",
+                    result.star_id, result.duration_seconds, completed, total, result.error,
+                )
+            if progress is not None:
+                progress(result, completed, total)
+
+        pool = self._make_pool()
+        if pool is None:
+            for index, task in enumerate(tasks):
+                finish(
+                    index,
+                    _train_star(
+                        task, self.config, self._seed_for(task, index),
+                        str(self.output_dir), self.validation_split,
+                    ),
+                )
+        else:
+            with pool:
+                pending = {
+                    pool.submit(
+                        _train_star,
+                        task, self.config, self._seed_for(task, index),
+                        str(self.output_dir), self.validation_split,
+                    ): index
+                    for index, task in enumerate(tasks)
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = pending.pop(future)
+                        try:
+                            result = future.result()
+                        except Exception as error:  # pool infrastructure failure
+                            result = StarResult(
+                                star_id=tasks[index].star_id,
+                                status="failed",
+                                seed=self._seed_for(tasks[index], index),
+                                error=f"{type(error).__name__}: {error}",
+                            )
+                        finish(index, result)
+
+        report = FleetTrainingReport(
+            results=list(results),  # type: ignore[arg-type]  (all slots filled)
+            wall_seconds=time.perf_counter() - start,
+            workers=self.workers,
+            executor=self.executor,
+        )
+        logger.info("[fleet] %s", report.summary())
+        return report

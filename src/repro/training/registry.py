@@ -1,0 +1,235 @@
+"""Versioned on-disk registry of trained detector artifacts.
+
+The bridge between the training fleet and the serving fleet: training
+publishes ``AeroDetector.save()`` artifacts under a model name, serving
+resolves the latest (or a pinned) version and loads it back — as a plain
+detector, or compiled straight into the tape-free plans of
+:mod:`repro.runtime` — and :meth:`ModelRegistry.deploy` hands it to a
+running :class:`~repro.streaming.FleetManager` /
+:class:`~repro.streaming.StreamingDetector` for a hot swap that keeps every
+buffered window.
+
+Layout (one directory per name, one immutable directory per version)::
+
+    root/
+      <name>/
+        v0001/
+          model.npz        # the AeroDetector.save() artifact
+          manifest.json    # {"name", "version", "metadata", ...}
+        v0002/
+          ...
+
+Publishes are atomic at the directory level: the artifact is staged into a
+hidden temp directory and ``rename``d into place, so a concurrently reading
+server never observes a half-written version.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - imports only for type checkers
+    from ..core.detector import AeroDetector
+    from ..runtime.compiler import CompiledDetector
+
+__all__ = ["ModelVersion", "ModelRegistry"]
+
+logger = logging.getLogger("repro.training.registry")
+
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+_VERSION_PATTERN = re.compile(r"^v(\d{4,})$")
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable published version of a named model."""
+
+    name: str
+    version: int
+    path: Path                    # the version directory
+    metadata: dict
+
+    @property
+    def artifact_path(self) -> Path:
+        """The ``AeroDetector.save()`` artifact of this version."""
+        return self.path / ModelRegistry.ARTIFACT
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}@v{self.version:04d}"
+
+
+class ModelRegistry:
+    """Filesystem-backed versioned store of detector checkpoints."""
+
+    ARTIFACT = "model.npz"
+    MANIFEST = "manifest.json"
+    _PUBLISH_RETRIES = 16
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def names(self) -> list[str]:
+        """All model names with at least one published version."""
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            # Skip foreign directories (.git, caches, staging debris, ...).
+            if entry.is_dir() and _NAME_PATTERN.match(entry.name) and self.versions(entry.name)
+        )
+
+    def versions(self, name: str) -> list[int]:
+        """Published version numbers of ``name``, ascending."""
+        model_dir = self.root / self._check_name(name)
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for entry in model_dir.iterdir():
+            match = _VERSION_PATTERN.match(entry.name)
+            if match and entry.is_dir() and (entry / self.ARTIFACT).exists():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def get(self, name: str, version: int | None = None) -> ModelVersion:
+        """Resolve one published version (default: the latest)."""
+        name = self._check_name(name)
+        available = self.versions(name)
+        if not available:
+            raise KeyError(f"registry has no published versions of {name!r}")
+        if version is None:
+            version = available[-1]
+        elif version not in available:
+            raise KeyError(
+                f"registry has no version {version} of {name!r} (available: {available})"
+            )
+        path = self.root / name / f"v{version:04d}"
+        manifest_path = path / self.MANIFEST
+        metadata = {}
+        if manifest_path.exists():
+            metadata = json.loads(manifest_path.read_text()).get("metadata", {})
+        return ModelVersion(name=name, version=version, path=path, metadata=metadata)
+
+    def latest(self, name: str) -> ModelVersion:
+        """The most recently published version of ``name``."""
+        return self.get(name)
+
+    def load_detector(self, name: str, version: int | None = None) -> "AeroDetector":
+        """Load a published version back into a scoring-ready detector."""
+        from ..core.detector import AeroDetector
+
+        return AeroDetector.load(self.get(name, version).artifact_path)
+
+    def load_compiled(
+        self, name: str, version: int | None = None, dtype="float64"
+    ) -> "CompiledDetector":
+        """Load a published version and compile it into tape-free plans."""
+        return self.load_detector(name, version).compile(dtype=dtype)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        name: str,
+        source: "AeroDetector | str | Path",
+        metadata: dict | None = None,
+    ) -> ModelVersion:
+        """Publish a fitted detector (or an existing artifact) as a new version.
+
+        ``source`` is either a fitted :class:`~repro.core.AeroDetector`
+        (saved into the registry) or a path to an ``AeroDetector.save()``
+        artifact (copied in).  Returns the new :class:`ModelVersion`.
+        """
+        name = self._check_name(name)
+        metadata = dict(metadata or {})
+        model_dir = self.root / name
+        model_dir.mkdir(parents=True, exist_ok=True)
+
+        for attempt in range(self._PUBLISH_RETRIES):
+            version = (self.versions(name) or [0])[-1] + 1 + attempt
+            # Publisher-unique staging: concurrent publishers must never
+            # share (or clean up) each other's in-flight directories.
+            staging = Path(tempfile.mkdtemp(prefix=".staging-", dir=model_dir))
+            try:
+                self._write_artifact(source, staging / self.ARTIFACT)
+                manifest = {
+                    "format": "aero-model-version",
+                    "name": name,
+                    "version": version,
+                    "artifact": self.ARTIFACT,
+                    "metadata": metadata,
+                }
+                (staging / self.MANIFEST).write_text(json.dumps(manifest, indent=2))
+            except Exception:
+                shutil.rmtree(staging, ignore_errors=True)
+                raise
+            try:
+                staging.rename(model_dir / f"v{version:04d}")
+            except OSError:
+                # Lost a publish race for this version number: clean the
+                # staging directory and try the next slot.
+                shutil.rmtree(staging, ignore_errors=True)
+                continue
+            published = self.get(name, version)
+            logger.info("[registry] published %s -> %s", published.label, published.path)
+            return published
+        raise RuntimeError(
+            f"could not publish {name!r}: lost {self._PUBLISH_RETRIES} version races in a row"
+        )
+
+    def _write_artifact(self, source, destination: Path) -> None:
+        if isinstance(source, (str, Path)):
+            source = Path(source)
+            if not source.exists():
+                raise FileNotFoundError(f"no detector artifact at {source}")
+            shutil.copyfile(source, destination)
+            return
+        save = getattr(source, "save", None)
+        if save is None:
+            raise TypeError(
+                "source must be a fitted AeroDetector or a path to a saved artifact, "
+                f"got {type(source).__name__}"
+            )
+        save(destination)
+
+    # ------------------------------------------------------------------
+    # serving integration
+    # ------------------------------------------------------------------
+    def deploy(self, name: str, target, version: int | None = None, dtype=None):
+        """Hot-swap a published version into a running serving front-end.
+
+        ``target`` is anything exposing ``swap_model`` — a
+        :class:`~repro.streaming.FleetManager` or
+        :class:`~repro.streaming.StreamingDetector`.  With ``dtype`` given,
+        the version is compiled first and the target serves the tape-free
+        plans; otherwise the target keeps its current backend kind.
+        Returns the deployed :class:`ModelVersion`.
+        """
+        resolved = self.get(name, version)
+        if dtype is not None:
+            target.swap_model(self.load_compiled(name, resolved.version, dtype=dtype))
+        else:
+            target.swap_model(self.load_detector(name, resolved.version))
+        logger.info("[registry] deployed %s into %s", resolved.label, type(target).__name__)
+        return resolved
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not _NAME_PATTERN.match(name or ""):
+            raise ValueError(
+                f"invalid model name {name!r}: use letters, digits, '.', '_' or '-' "
+                "(must not start with a separator)"
+            )
+        return name

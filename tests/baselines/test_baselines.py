@@ -12,7 +12,6 @@ from repro.baselines import (
     SpectralResidual,
     Spot,
     TemplateMatching,
-    TimesNet,
     dominant_periods,
     get_baseline,
 )

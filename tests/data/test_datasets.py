@@ -328,3 +328,43 @@ def test_synthetic_dataset_invariants(num_variates, length, seed):
     assert ds.test_labels.sum() > 0
     assert 0.0 <= ds.anomaly_rate <= 1.0
     assert 0.0 <= ds.noise_rate <= 1.0
+
+
+class TestWindowSubsets:
+    def test_subset_selects_windows_without_copying_series(self):
+        series = np.arange(40.0).reshape(20, 2)
+        wd = WindowDataset(series, window=8, short_window=3)
+        sub = wd.subset(np.array([0, 2, 5]))
+        assert len(sub) == 3
+        assert sub.series is wd.series
+        np.testing.assert_array_equal(sub.end_indices, [7, 9, 12])
+        long, _, _, _, end = sub.instance(1)
+        np.testing.assert_allclose(long, series[2:10].T)
+        assert end == 9
+
+    def test_subset_validates_indices(self):
+        wd = WindowDataset(np.zeros((20, 2)), window=8, short_window=3)
+        with pytest.raises(IndexError):
+            wd.subset(np.array([99]))
+        with pytest.raises(ValueError):
+            wd.subset(np.zeros((2, 2), dtype=np.int64))
+
+    def test_split_is_chronological(self):
+        wd = WindowDataset(np.zeros((30, 2)), window=8, short_window=3)
+        train, holdout = wd.split(0.25)
+        assert len(holdout) == int(np.ceil(0.25 * len(wd)))
+        assert len(train) + len(holdout) == len(wd)
+        # Every training window ends strictly before every holdout window.
+        assert train.end_indices.max() < holdout.end_indices.min()
+
+    def test_split_zero_fraction_returns_everything_in_train(self):
+        wd = WindowDataset(np.zeros((30, 2)), window=8, short_window=3)
+        train, holdout = wd.split(0.0)
+        assert len(train) == len(wd) and len(holdout) == 0
+
+    def test_split_must_leave_training_windows(self):
+        wd = WindowDataset(np.zeros((9, 2)), window=8, short_window=3)
+        with pytest.raises(ValueError):
+            wd.split(0.99)
+        with pytest.raises(ValueError):
+            wd.split(1.0)

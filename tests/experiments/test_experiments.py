@@ -23,7 +23,6 @@ from repro.experiments import (
     run_table1,
     run_variant_on_dataset,
 )
-from repro.experiments.profiles import ExperimentProfile
 
 
 TINY = PROFILES["tiny"]

@@ -11,7 +11,6 @@ from repro.nn import (
     GELU,
     LayerNorm,
     Linear,
-    Module,
     Parameter,
     ReLU,
     SGD,

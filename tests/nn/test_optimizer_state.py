@@ -1,0 +1,114 @@
+"""Optimizer state (de)serialization: the foundation of resumable training."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, Tensor, load_optimizer, mse_loss, save_optimizer
+
+
+def make_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(16, 4)))
+    y = Tensor(rng.normal(size=(16, 2)))
+    return x, y
+
+
+def train_steps(model, optimizer, x, y, steps):
+    for _ in range(steps):
+        loss = mse_loss(model(x), y)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+
+class TestAdamState:
+    def test_roundtrip_resumes_bit_identically(self, tmp_path):
+        x, y = make_problem()
+        # Reference: 6 uninterrupted steps.
+        ref = Linear(4, 2, rng=np.random.default_rng(1))
+        ref_opt = Adam(ref.parameters(), lr=0.05)
+        train_steps(ref, ref_opt, x, y, 6)
+
+        # Interrupted: 3 steps, checkpoint, rebuild, 3 more.
+        a = Linear(4, 2, rng=np.random.default_rng(1))
+        opt_a = Adam(a.parameters(), lr=0.05)
+        train_steps(a, opt_a, x, y, 3)
+        save_optimizer(opt_a, tmp_path / "opt.npz")
+        weights = a.state_dict()
+
+        b = Linear(4, 2, rng=np.random.default_rng(2))
+        b.load_state_dict(weights)
+        opt_b = Adam(b.parameters(), lr=0.05)
+        load_optimizer(opt_b, tmp_path / "opt.npz")
+        train_steps(b, opt_b, x, y, 3)
+
+        for name, value in ref.state_dict().items():
+            np.testing.assert_array_equal(value, b.state_dict()[name], err_msg=name)
+
+    def test_state_dict_contains_step_and_moments(self):
+        model = Linear(3, 1)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        x, y = make_problem()
+        state = optimizer.state_dict()
+        assert int(state["step"]) == 0
+        assert {k for k in state if k.startswith("m.")} == {"m.0", "m.1"}
+        # state_dict returns copies: training must not mutate an old snapshot.
+        train_steps(model, optimizer, Tensor(np.ones((4, 3))), Tensor(np.ones((4, 1))), 1)
+        assert int(state["step"]) == 0
+        np.testing.assert_array_equal(state["m.0"], np.zeros_like(state["m.0"]))
+
+    def test_mismatched_state_is_rejected(self, tmp_path):
+        big = Linear(8, 8)
+        opt_big = Adam(big.parameters(), lr=0.01)
+        save_optimizer(opt_big, tmp_path / "opt.npz")
+
+        small = Linear(2, 2)
+        opt_small = Adam(small.parameters(), lr=0.01)
+        with pytest.raises(ValueError, match="opt.npz"):
+            load_optimizer(opt_small, tmp_path / "opt.npz")
+
+        extra = Linear(2, 2, bias=False)
+        opt_extra = Adam(extra.parameters(), lr=0.01)
+        with pytest.raises(KeyError, match="unexpected"):
+            load_optimizer(opt_extra, tmp_path / "opt.npz")
+
+    def test_negative_step_rejected(self):
+        model = Linear(2, 2)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        state = optimizer.state_dict()
+        state["step"] = np.asarray(-1)
+        with pytest.raises(ValueError, match="step"):
+            optimizer.load_state_dict(state)
+
+
+class TestSGDState:
+    def test_momentum_roundtrip_resumes_bit_identically(self, tmp_path):
+        x, y = make_problem()
+        ref = Linear(4, 2, rng=np.random.default_rng(1))
+        ref_opt = SGD(ref.parameters(), lr=0.05, momentum=0.9)
+        train_steps(ref, ref_opt, x, y, 6)
+
+        a = Linear(4, 2, rng=np.random.default_rng(1))
+        opt_a = SGD(a.parameters(), lr=0.05, momentum=0.9)
+        train_steps(a, opt_a, x, y, 3)
+        save_optimizer(opt_a, tmp_path / "sgd.npz")
+
+        b = Linear(4, 2, rng=np.random.default_rng(3))
+        b.load_state_dict(a.state_dict())
+        opt_b = SGD(b.parameters(), lr=0.05, momentum=0.9)
+        load_optimizer(opt_b, tmp_path / "sgd.npz")
+        train_steps(b, opt_b, x, y, 3)
+
+        for name, value in ref.state_dict().items():
+            np.testing.assert_array_equal(value, b.state_dict()[name], err_msg=name)
+
+    def test_velocity_keys(self):
+        model = Linear(3, 2)
+        optimizer = SGD(model.parameters(), lr=0.1, momentum=0.5)
+        assert set(optimizer.state_dict()) == {"velocity.0", "velocity.1"}
+
+    def test_missing_file_raises(self, tmp_path):
+        model = Linear(2, 2)
+        optimizer = SGD(model.parameters(), lr=0.1)
+        with pytest.raises(FileNotFoundError):
+            load_optimizer(optimizer, tmp_path / "missing.npz")

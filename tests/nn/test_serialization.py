@@ -10,7 +10,6 @@ import pytest
 
 from repro.nn import (
     Linear,
-    Module,
     Sequential,
     load_arrays,
     load_module,

@@ -12,7 +12,7 @@ import pytest
 from repro import AeroConfig, AeroDetector
 from repro.core.variants import ABLATION_VARIANTS, build_variant
 from repro.nn import Tensor
-from repro.runtime import CompiledDetector, compile_detector
+from repro.runtime import compile_detector
 from repro.streaming import AlertPolicy, FleetManager, StreamingDetector
 
 VARIANTS = sorted(ABLATION_VARIANTS)

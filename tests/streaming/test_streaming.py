@@ -8,7 +8,6 @@ from repro import AeroConfig, AeroDetector
 from repro.data import load_synthetic
 from repro.evaluation import pot_threshold
 from repro.streaming import (
-    Alert,
     AlertPolicy,
     FleetManager,
     IncrementalPOT,

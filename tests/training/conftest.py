@@ -1,0 +1,50 @@
+"""Shared fixtures for the training-subsystem tests: tiny, fast workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import AeroConfig
+from repro.core.model import AeroModel
+from repro.data.preprocessing import MinMaxScaler
+from repro.data.windows import WindowDataset
+
+
+@pytest.fixture
+def tiny_config():
+    """A CPU-cheap configuration (window 16/6, d_model 8, 3+3 epochs)."""
+    return AeroConfig.fast(window=16, short_window=6).scaled(
+        d_model=8, num_heads=2, max_epochs_stage1=3, max_epochs_stage2=3
+    )
+
+
+@pytest.fixture
+def train_series():
+    rng = np.random.default_rng(42)
+    return rng.normal(10.0, 1.0, size=(150, 3))
+
+
+@pytest.fixture
+def build_setup():
+    """The :func:`build_training_setup` helper, as a fixture (the tests
+    directory is not a package, so plain imports across files don't work)."""
+    return build_training_setup
+
+
+def build_training_setup(config, series, **variant_kwargs):
+    """Replicate ``AeroDetector.fit``'s preprocessing for session-level tests.
+
+    Returns ``(model, window_dataset, scaler)`` — a model with node scales
+    set and a stride-matched window dataset over the scaled series.
+    """
+    scaler = MinMaxScaler()
+    scaled = scaler.fit_transform(np.asarray(series, dtype=np.float64))
+    model = AeroModel(config, num_variates=series.shape[1], **variant_kwargs)
+    if model.noise is not None:
+        model.noise.set_node_scales(np.maximum(scaler.data_max_ - scaler.data_min_, 1e-8))
+    dataset = WindowDataset(
+        scaled,
+        window=config.window,
+        short_window=config.short_window,
+        stride=config.train_stride,
+    )
+    return model, dataset, scaler

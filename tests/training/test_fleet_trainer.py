@@ -1,0 +1,168 @@
+"""Tests for FleetTrainer: worker-count determinism, failure isolation,
+per-star seeding, progress reporting and registry integration."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core import AeroDetector
+from repro.nn.serialization import load_arrays
+from repro.training import FleetTrainer, ModelRegistry, StarTask
+
+
+def make_tasks(num_stars, length=150, num_variates=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        StarTask(star_id=f"star-{i:02d}", series=rng.normal(10.0, 1.0, size=(length, num_variates)))
+        for i in range(num_stars)
+    ]
+
+
+def star_weights(report, star_id):
+    result = report.result(star_id)
+    assert result.ok, result.error
+    return {
+        name: value
+        for name, value in load_arrays(result.checkpoint_path).items()
+        if name.startswith("model.")
+    }
+
+
+class TestDeterminism:
+    def test_results_independent_of_worker_count_and_executor(self, tiny_config, tmp_path):
+        tasks = make_tasks(3)
+        serial = FleetTrainer(tiny_config, tmp_path / "serial", executor="serial").train(tasks)
+        threaded = FleetTrainer(
+            tiny_config, tmp_path / "threads", workers=3, executor="thread"
+        ).train(tasks)
+        assert not serial.failed and not threaded.failed
+        for task in tasks:
+            weights_a = star_weights(serial, task.star_id)
+            weights_b = star_weights(threaded, task.star_id)
+            assert set(weights_a) == set(weights_b)
+            for name in weights_a:
+                np.testing.assert_array_equal(weights_a[name], weights_b[name], err_msg=name)
+
+    def test_process_pool_matches_serial(self, tiny_config, tmp_path):
+        tasks = make_tasks(2, length=120)
+        serial = FleetTrainer(tiny_config, tmp_path / "serial", executor="serial").train(tasks)
+        procs = FleetTrainer(
+            tiny_config, tmp_path / "procs", workers=2, executor="process"
+        ).train(tasks)
+        assert not procs.failed
+        for task in tasks:
+            weights_a = star_weights(serial, task.star_id)
+            weights_b = star_weights(procs, task.star_id)
+            for name in weights_a:
+                np.testing.assert_array_equal(weights_a[name], weights_b[name], err_msg=name)
+
+    def test_per_star_seeds_differ_and_are_reported(self, tiny_config, tmp_path):
+        tasks = make_tasks(2)
+        report = FleetTrainer(
+            tiny_config, tmp_path / "fleet", executor="serial", base_seed=100
+        ).train(tasks)
+        assert [r.seed for r in report.results] == [100, 101]
+        # Same data, different seeds: the trained weights must differ.
+        weights_a = star_weights(report, "star-00")
+        weights_b = star_weights(report, "star-01")
+        assert any(not np.array_equal(weights_a[n], weights_b[n]) for n in weights_a)
+
+    def test_explicit_task_seed_wins(self, tiny_config, tmp_path):
+        tasks = make_tasks(1)
+        tasks[0].seed = 777
+        report = FleetTrainer(tiny_config, tmp_path / "fleet", executor="serial").train(tasks)
+        assert report.results[0].seed == 777
+
+
+class TestFailureIsolation:
+    def test_one_bad_star_does_not_sink_the_fleet(self, tiny_config, tmp_path, caplog):
+        tasks = make_tasks(2)
+        # A malformed (1-D) series: fit() raises inside the worker.
+        tasks.insert(1, StarTask(star_id="broken", series=np.zeros(40)))
+        with caplog.at_level(logging.WARNING, logger="repro.training"):
+            report = FleetTrainer(tiny_config, tmp_path / "fleet", executor="serial").train(tasks)
+        assert len(report.trained) == 2
+        assert [r.star_id for r in report.failed] == ["broken"]
+        failed = report.result("broken")
+        assert failed.checkpoint_path is None and failed.error
+        assert any("broken" in r.getMessage() for r in caplog.records)
+        assert "1 failed" in report.summary()
+
+    def test_duplicate_and_empty_ids_rejected(self, tiny_config, tmp_path):
+        trainer = FleetTrainer(tiny_config, tmp_path / "fleet", executor="serial")
+        tasks = make_tasks(2)
+        tasks[1].star_id = tasks[0].star_id
+        with pytest.raises(ValueError, match="duplicate"):
+            trainer.train(tasks)
+        with pytest.raises(ValueError, match="no tasks"):
+            trainer.train([])
+
+    def test_invalid_pool_configuration_rejected(self, tiny_config, tmp_path):
+        with pytest.raises(ValueError):
+            FleetTrainer(tiny_config, tmp_path, workers=0)
+        with pytest.raises(ValueError):
+            FleetTrainer(tiny_config, tmp_path, executor="gpu")
+
+
+class TestReporting:
+    def test_progress_callback_sees_every_star(self, tiny_config, tmp_path):
+        tasks = make_tasks(3, length=120)
+        seen = []
+        report = FleetTrainer(tiny_config, tmp_path / "fleet", executor="serial").train(
+            tasks, progress=lambda result, done, total: seen.append((result.star_id, done, total))
+        )
+        assert [s[1] for s in seen] == [1, 2, 3]
+        assert all(s[2] == 3 for s in seen)
+        assert {s[0] for s in seen} == {t.star_id for t in tasks}
+        assert report.wall_seconds > 0
+        assert report.result("star-00").history is not None
+
+    def test_mapping_input_is_accepted(self, tiny_config, tmp_path):
+        rng = np.random.default_rng(5)
+        series = {"a": rng.normal(10, 1, (120, 3)), "b": rng.normal(10, 1, (120, 3))}
+        report = FleetTrainer(tiny_config, tmp_path / "fleet", executor="serial").train(series)
+        assert {r.star_id for r in report.trained} == {"a", "b"}
+
+    def test_unknown_star_lookup_raises(self, tiny_config, tmp_path):
+        report = FleetTrainer(tiny_config, tmp_path / "fleet", executor="serial").train(
+            make_tasks(1, length=120)
+        )
+        with pytest.raises(KeyError):
+            report.result("nope")
+
+
+class TestRegistryIntegration:
+    def test_trained_stars_are_published(self, tiny_config, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        tasks = make_tasks(2, length=120)
+        FleetTrainer(
+            tiny_config, tmp_path / "fleet", executor="serial", registry=registry
+        ).train(tasks)
+        assert registry.names() == ["star-00", "star-01"]
+        version = registry.latest("star-00")
+        assert version.version == 1
+        assert version.metadata["source"] == "FleetTrainer"
+        detector = registry.load_detector("star-00")
+        assert isinstance(detector, AeroDetector)
+        assert detector.train_scores_ is not None
+
+    def test_warm_start_refresh_through_fleet(self, tiny_config, tmp_path):
+        """The drifted-star path: retrain a star warm-started from its last
+        published artifact, in one epoch."""
+        tasks = make_tasks(1)
+        first = FleetTrainer(tiny_config, tmp_path / "gen1", executor="serial").train(tasks)
+        refresh_config = tiny_config.scaled(max_epochs_stage1=1, max_epochs_stage2=1)
+        drifted = tasks[0].series + 0.05
+        refreshed = FleetTrainer(refresh_config, tmp_path / "gen2", executor="serial").train(
+            [
+                StarTask(
+                    star_id="star-00",
+                    series=drifted,
+                    warm_start=first.result("star-00").checkpoint_path,
+                )
+            ]
+        )
+        result = refreshed.result("star-00")
+        assert result.ok, result.error
+        assert result.history.stage1_epochs == 1

@@ -1,0 +1,137 @@
+"""Tests for ModelRegistry: versioning, atomic publishes, loading and
+compiled-plan handoff."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AeroDetector
+from repro.runtime import CompiledDetector
+from repro.training import ModelRegistry
+
+
+@pytest.fixture
+def fitted_detector(tiny_config, train_series):
+    return AeroDetector(tiny_config).fit(train_series)
+
+
+class TestVersioning:
+    def test_publish_assigns_monotonic_versions(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        first = registry.publish("field-a", fitted_detector)
+        second = registry.publish("field-a", fitted_detector)
+        assert (first.version, second.version) == (1, 2)
+        assert registry.versions("field-a") == [1, 2]
+        assert registry.latest("field-a").version == 2
+        assert registry.names() == ["field-a"]
+        assert first.label == "field-a@v0001"
+
+    def test_get_specific_and_missing_versions(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        assert registry.get("field-a", 1).version == 1
+        with pytest.raises(KeyError):
+            registry.get("field-a", 9)
+        with pytest.raises(KeyError):
+            registry.get("never-published")
+        assert registry.versions("never-published") == []
+
+    def test_invalid_names_rejected(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        for bad in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                registry._check_name(bad)
+
+    def test_manifest_records_metadata(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        version = registry.publish("field-a", fitted_detector, metadata={"f1": 0.9})
+        assert version.metadata == {"f1": 0.9}
+        manifest = json.loads((version.path / ModelRegistry.MANIFEST).read_text())
+        assert manifest["name"] == "field-a"
+        assert manifest["version"] == 1
+        # Re-reading through the registry surfaces the same metadata.
+        assert registry.get("field-a", 1).metadata == {"f1": 0.9}
+
+    def test_half_written_versions_are_invisible(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        # A crashed publish leaves a staging dir (or an empty version dir):
+        (tmp_path / "field-a" / ".staging-abc123").mkdir()
+        (tmp_path / "field-a" / "v0003").mkdir()  # no artifact inside
+        assert registry.versions("field-a") == [1]
+        assert registry.latest("field-a").version == 1
+
+    def test_names_skips_foreign_directories(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        (tmp_path / ".git").mkdir()
+        (tmp_path / "_cache").mkdir()
+        assert registry.names() == ["field-a"]
+
+    def test_concurrent_publishers_never_share_staging(self, tmp_path, fitted_detector):
+        """Interleaved publishes of one name must yield two intact versions."""
+        import threading
+
+        registry = ModelRegistry(tmp_path)
+        artifact = fitted_detector.save(tmp_path / "det.npz")
+        errors = []
+
+        def publish():
+            try:
+                registry.publish("field-a", artifact)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=publish) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        versions = registry.versions("field-a")
+        assert len(versions) == 4
+        for version in versions:
+            loaded = registry.get("field-a", version)
+            assert loaded.artifact_path.exists()
+            assert (loaded.path / ModelRegistry.MANIFEST).exists()
+        assert not list((tmp_path / "field-a").glob(".staging*"))
+
+
+class TestLoading:
+    def test_loaded_detector_scores_identically(self, tmp_path, fitted_detector, train_series):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        restored = registry.load_detector("field-a")
+        np.testing.assert_array_equal(
+            fitted_detector.score(train_series[:60]), restored.score(train_series[:60])
+        )
+
+    def test_load_compiled_hands_out_plans(self, tmp_path, fitted_detector, train_series):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        compiled = registry.load_compiled("field-a")
+        assert isinstance(compiled, CompiledDetector)
+        np.testing.assert_array_equal(
+            fitted_detector.score(train_series[:60]), compiled.score(train_series[:60])
+        )
+
+    def test_publish_from_existing_artifact_path(self, tmp_path, fitted_detector):
+        artifact = fitted_detector.save(tmp_path / "det.npz")
+        registry = ModelRegistry(tmp_path / "registry")
+        version = registry.publish("field-a", artifact)
+        assert version.artifact_path.exists()
+        assert registry.load_detector("field-a").threshold() == fitted_detector.threshold()
+
+    def test_publish_rejects_bogus_sources(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            registry.publish("field-a", tmp_path / "missing.npz")
+        with pytest.raises(TypeError):
+            registry.publish("field-a", object())
+        with pytest.raises(RuntimeError):
+            # an unfitted detector cannot be saved
+            registry.publish("field-a", AeroDetector())
+        # Failed publishes must not burn version numbers or leave debris.
+        assert registry.versions("field-a") == []
+        assert not list((tmp_path / "field-a").glob(".staging*"))
