@@ -8,7 +8,9 @@ series offline, this example uses the streaming subsystem end to end:
    and verify its incremental scores match the batch path exactly;
 3. serve a *fleet* of simulated camera fields through a
    :class:`repro.streaming.FleetManager` — one vectorised model call per
-   exposure for all shards — behind a :class:`StreamingService` queue with
+   exposure for all shards, with ``threshold_mode="per_star"`` adaptive POT
+   thresholds (each star's own calibration, advanced by one array-native
+   update per tick) — behind a :class:`StreamingService` queue with
    debounced alerting, printing the operator-facing backpressure stats.
 
 Run with:  PYTHONPATH=src python examples/streaming_monitoring.py
@@ -48,9 +50,12 @@ def main() -> None:
         detector,
         num_shards=num_shards,
         alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
+        threshold_mode="per_star",
     )
     service = StreamingService(fleet, max_queue=64)
-    print(f"serving {fleet.num_stars} stars across {num_shards} shards")
+    print(f"serving {fleet.num_stars} stars across {num_shards} shards, "
+          f"per-star thresholds in [{fleet.adaptive_pot.thresholds.min():.3f}, "
+          f"{fleet.adaptive_pot.thresholds.max():.3f}]")
 
     # Each shard observes the same night with shard-specific photometric
     # jitter, standing in for neighbouring fields of the same survey.
@@ -65,7 +70,7 @@ def main() -> None:
     for alert in alerts[:10]:
         truth = "TRUE EVENT" if dataset.test_labels[alert.step, alert.variate] else "noise/false alarm"
         print(f"t={alert.step:5d}  shard {alert.shard}  star {alert.variate:3d}  "
-              f"score={alert.score:.3f}  -> {truth}")
+              f"score={alert.score:.3f}  thr={alert.threshold:.3f}  -> {truth}")
     if len(alerts) > 10:
         print(f"... and {len(alerts) - 10} more alerts")
 

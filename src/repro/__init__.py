@@ -32,7 +32,7 @@ from .training import (
     TrainingSession,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AeroConfig",

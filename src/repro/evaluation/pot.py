@@ -25,7 +25,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["GPDFit", "fit_gpd", "gpd_tail_threshold", "pot_threshold", "SPOT", "DSPOT"]
+__all__ = [
+    "GPDFit",
+    "fit_gpd",
+    "gpd_tail_threshold",
+    "gpd_tail_thresholds",
+    "pot_threshold",
+    "SPOT",
+    "DSPOT",
+]
 
 
 @dataclass
@@ -81,6 +89,42 @@ def fit_gpd(excesses: np.ndarray) -> GPDFit:
     return best
 
 
+def gpd_tail_thresholds(
+    initial_thresholds: np.ndarray,
+    shapes: np.ndarray,
+    scales: np.ndarray,
+    num_excesses: np.ndarray,
+    q: float,
+    num_observations: np.ndarray,
+) -> np.ndarray:
+    """Array-native ``z_q`` inversion: one threshold per (star's) GPD fit.
+
+    Element ``i`` computes exactly :func:`gpd_tail_threshold` for the
+    ``i``-th fit.  Every POT variant — batch, SPOT, DSPOT, the streaming
+    :class:`repro.streaming.IncrementalPOT` and the per-star
+    :class:`repro.streaming.VectorizedIncrementalPOT` — funnels through this
+    one ufunc-backed implementation, which keeps their thresholds
+    bit-for-bit comparable (numpy's array ufuncs are element-consistent,
+    whereas mixing scalar ``math``-style calls with array calls is not).
+    """
+    initial = np.asarray(initial_thresholds, dtype=np.float64)
+    shapes = np.asarray(shapes, dtype=np.float64)
+    scales = np.asarray(scales, dtype=np.float64)
+    ratio = q * np.asarray(num_observations, dtype=np.float64) / np.maximum(num_excesses, 1)
+    thresholds = np.empty(initial.shape, dtype=np.float64)
+    exponential = np.abs(shapes) < 1e-9
+    if exponential.any():
+        thresholds[exponential] = (
+            initial[exponential] - scales[exponential] * np.log(ratio[exponential])
+        )
+    heavy = ~exponential
+    if heavy.any():
+        thresholds[heavy] = initial[heavy] + (scales[heavy] / shapes[heavy]) * (
+            ratio[heavy] ** -shapes[heavy] - 1.0
+        )
+    return np.maximum(thresholds, initial)
+
+
 def gpd_tail_threshold(
     initial_threshold: float,
     fit: GPDFit,
@@ -99,12 +143,16 @@ def gpd_tail_threshold(
     falling back to the exponential limit for ``gamma ~ 0``.  The result is
     clamped from below at the initial threshold.
     """
-    ratio = q * num_observations / max(fit.num_excesses, 1)
-    if abs(fit.shape) < 1e-9:
-        threshold = initial_threshold - fit.scale * np.log(ratio)
-    else:
-        threshold = initial_threshold + (fit.scale / fit.shape) * (ratio ** (-fit.shape) - 1.0)
-    return float(max(threshold, initial_threshold))
+    return float(
+        gpd_tail_thresholds(
+            np.asarray([initial_threshold]),
+            np.asarray([fit.shape]),
+            np.asarray([fit.scale]),
+            np.asarray([fit.num_excesses]),
+            q,
+            np.asarray([num_observations]),
+        )[0]
+    )
 
 
 def pot_threshold(

@@ -12,6 +12,9 @@ system:
   one-timestamp-at-a-time scoring provably equal to the batch path;
 * :mod:`~repro.streaming.online_pot` — :class:`IncrementalPOT`, streaming
   POT thresholding with periodic GPD tail re-fits;
+* :mod:`~repro.streaming.vector_pot` — :class:`VectorizedIncrementalPOT`,
+  per-star adaptive thresholds for a whole fleet in one array-native
+  update per tick (bit-equal to independent scalar instances);
 * :mod:`~repro.streaming.fleet` — :class:`FleetManager`, sharded multi-star
   serving that micro-batches score steps through one vectorised model call;
 * :mod:`~repro.streaming.alerts` — :class:`AlertPolicy`, debounced per-star
@@ -22,6 +25,7 @@ system:
 
 from .buffer import RingBuffer
 from .online_pot import IncrementalPOT
+from .vector_pot import VectorizedIncrementalPOT, calibrate_adaptive_pot
 from .online_detector import StreamingDetector, StreamStepResult
 from .alerts import Alert, AlertPolicy
 from .fleet import FleetManager, FleetStepResult
@@ -30,6 +34,8 @@ from .service import ServiceStats, StreamingService
 __all__ = [
     "RingBuffer",
     "IncrementalPOT",
+    "VectorizedIncrementalPOT",
+    "calibrate_adaptive_pot",
     "StreamingDetector",
     "StreamStepResult",
     "Alert",

@@ -32,7 +32,7 @@ class Alert:
     variate: int       # variate index within the shard
     step: int          # stream step at which the alert fired
     score: float
-    threshold: float
+    threshold: float   # the (per-star, when adaptive) threshold that fired it
 
 
 class AlertPolicy:
@@ -63,18 +63,47 @@ class AlertPolicy:
         self._muted_until = None
         self.alerts_fired = 0
 
-    def update(self, step: int, scores: np.ndarray, threshold: float) -> list[Alert]:
+    def update(
+        self,
+        step: int,
+        scores: np.ndarray,
+        threshold: float | np.ndarray,
+        shard_width: int | None = None,
+    ) -> list[Alert]:
         """Ingest one step of scores (any shape; flattened) and emit alerts.
+
+        ``threshold`` is either one fleet-wide scalar or a per-star array
+        (one entry per flattened star, e.g. the adaptive thresholds of a
+        ``threshold_mode="per_star"`` fleet); each fired :class:`Alert`
+        records the threshold that actually fired it.
+
+        ``shard_width`` fixes the ``shard``/``variate`` decoding of flat
+        star indices.  Callers that know their geometry (a fleet with ``N``
+        variates per shard) must pass it explicitly — inferring it from the
+        score array's last axis mislabels alerts whenever the caller hands
+        in pre-flattened scores.  Left as ``None``, 2-D input decodes by its
+        last axis and 1-D input is treated as a single shard.
 
         NaN scores (warm-up) never fire and do not break a star's streak.
         """
         scores = np.asarray(scores, dtype=np.float64)
-        shard_width = scores.shape[-1] if scores.ndim > 1 else scores.size
         flat = scores.ravel()
+        if shard_width is None:
+            shard_width = scores.shape[-1] if scores.ndim > 1 else flat.size
+        if shard_width < 1:
+            raise ValueError("shard_width must be at least 1")
         self._ensure_state(flat.size)
 
+        thresholds = np.asarray(threshold, dtype=np.float64).ravel()
+        if thresholds.size not in (1, flat.size):
+            raise ValueError(
+                f"threshold must be a scalar or one entry per star ({flat.size}), "
+                f"got {thresholds.size}"
+            )
+        per_star = np.broadcast_to(thresholds, flat.shape) if thresholds.size == 1 else thresholds
+
         valid = np.isfinite(flat)
-        exceed = valid & (flat >= threshold)
+        exceed = valid & (flat >= per_star)
         self._streak[exceed] += 1
         self._streak[valid & ~exceed] = 0
 
@@ -90,7 +119,7 @@ class AlertPolicy:
                 variate=int(star) % shard_width,
                 step=step,
                 score=float(flat[star]),
-                threshold=float(threshold),
+                threshold=float(per_star[star]),
             )
             for star in fired
         ]

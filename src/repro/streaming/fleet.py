@@ -29,6 +29,7 @@ from .online_detector import (
     resolve_swap_source,
 )
 from .timeline import seed_stream_state
+from .vector_pot import VectorizedIncrementalPOT, calibrate_adaptive_pot
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from ..core.detector import AeroDetector
@@ -43,7 +44,8 @@ class FleetStepResult:
     step: int
     scores: np.ndarray                 # (num_shards, N); NaN during warm-up
     labels: np.ndarray                 # (num_shards, N) int64
-    threshold: float
+    threshold: float                   # frozen global POT calibration (legacy scalar)
+    thresholds: np.ndarray | None = None  # (num_shards, N) thresholds that labelled this tick
     alerts: list[Alert] = field(default_factory=list)
     ready: bool = True
 
@@ -71,6 +73,23 @@ class FleetManager:
         On the compiled backend every tick is served through the fused
         multi-star ``score_stack`` path: the ``(num_shards, W, N)`` stack of
         ring-buffer windows is scored in one tape-free plan call.
+    threshold_mode:
+        ``"global"`` (default) labels every star against the detector's one
+        frozen POT scalar — the historical behaviour, correct only while
+        every star's residual distribution matches the calibration mix.
+        ``"per_star"`` maintains a :class:`VectorizedIncrementalPOT`: each
+        star carries its own initial threshold, excess set and staggered
+        GPD re-fit cadence (calibrated per variate of the reference field,
+        tiled across shards), advanced by one array-native update per tick.
+        Labels then use each star's own adaptive threshold (strict ``>``,
+        the SPOT convention) and ``FleetStepResult.thresholds`` /
+        ``Alert.threshold`` record the per-star values that fired.
+    pot_refit_interval:
+        Per-star GPD re-fit cadence of the adaptive thresholds (ignored in
+        global mode).
+    pot_max_excesses:
+        Optional per-star excess-set bound (sliding calibration for
+        multi-night streams; ignored in global mode).
     """
 
     def __init__(
@@ -80,9 +99,16 @@ class FleetManager:
         seed_context: bool = True,
         alert_policy: AlertPolicy | None = None,
         backend=None,
+        threshold_mode: str = "global",
+        pot_refit_interval: int = 32,
+        pot_max_excesses: int | None = None,
     ):
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        if threshold_mode not in ("global", "per_star"):
+            raise ValueError(
+                f"threshold_mode must be 'global' or 'per_star', got {threshold_mode!r}"
+            )
         model = detector._require_fitted()
         if model.noise is not None and model.noise.graph_mode == "dynamic":
             # The dynamic-graph ablation smooths adjacency state sequentially
@@ -97,6 +123,15 @@ class FleetManager:
         self.num_variates = model.num_variates
         self._scaler = detector.scaler
         self.threshold = detector.threshold()
+        self.threshold_mode = threshold_mode
+        self.adaptive_pot: VectorizedIncrementalPOT | None = None
+        if threshold_mode == "per_star":
+            self.adaptive_pot = calibrate_adaptive_pot(
+                detector,
+                num_stars=num_shards * model.num_variates,
+                refit_interval=pot_refit_interval,
+                max_excesses=pot_max_excesses,
+            )
         self.alert_policy = alert_policy or AlertPolicy()
         self._engine = resolve_backend_engine(detector, backend)
         self.backend = "autograd" if self._engine is None else "compiled"
@@ -128,6 +163,37 @@ class FleetManager:
     def steps_ingested(self) -> int:
         return self._step
 
+    @property
+    def threshold_refits(self) -> int:
+        """Fleet-wide adaptive GPD re-fit count (0 in global mode)."""
+        return 0 if self.adaptive_pot is None else self.adaptive_pot.total_refits
+
+    # ------------------------------------------------------------------
+    def threshold_state(self) -> dict | None:
+        """The per-star threshold calibration as flat arrays, or ``None``.
+
+        The dict round-trips through :meth:`load_threshold_state` (and
+        through ``ModelRegistry.publish(..., calibration=...)`` /
+        ``deploy``), so a freshly started or newly deployed fleet restores
+        per-star thresholds without re-calibrating.
+        """
+        return None if self.adaptive_pot is None else self.adaptive_pot.state_dict()
+
+    def load_threshold_state(self, state: dict) -> None:
+        """Restore per-star thresholds captured by :meth:`threshold_state`.
+
+        Switches the fleet to ``threshold_mode="per_star"`` if it was
+        serving the global scalar.  The state must describe exactly this
+        fleet's ``num_stars``.
+        """
+        pot = VectorizedIncrementalPOT.from_state_dict(state)
+        if pot.num_stars != self.num_stars:
+            raise ValueError(
+                f"threshold state covers {pot.num_stars} stars, fleet serves {self.num_stars}"
+            )
+        self.adaptive_pot = pot
+        self.threshold_mode = "per_star"
+
     # ------------------------------------------------------------------
     def swap_model(self, source) -> None:
         """Hot-swap the fleet's serving model without dropping buffered state.
@@ -141,7 +207,10 @@ class FleetManager:
         re-expressed under the new model's scaler in place, so the next
         :meth:`step` serves the new model's scores with the full window
         history intact; the shared timeline and alert-policy state carry
-        over unchanged.
+        over unchanged.  In ``threshold_mode="per_star"`` the adaptive
+        threshold state (excess sets, observation counts, re-fit cadence)
+        also carries across the swap and keeps adapting; only the frozen
+        global ``threshold`` switches to the new model's calibration.
         """
         target = resolve_swap_source(
             source,
@@ -194,7 +263,8 @@ class FleetManager:
             labels = np.zeros((self.num_shards, self.num_variates), dtype=np.int64)
             return FleetStepResult(
                 step=step_index, scores=scores, labels=labels,
-                threshold=self.threshold, ready=False,
+                threshold=self.threshold, thresholds=self._current_thresholds(),
+                ready=False,
             )
 
         self._batch_times[:] = self._timeline.view(window)[None, :]
@@ -212,12 +282,34 @@ class FleetManager:
                 self._batch_times[:, window - short :],
                 backend="autograd",
             )
-        labels = (scores >= self.threshold).astype(np.int64)
-        alerts = self.alert_policy.update(step_index, scores, self.threshold)
+        if self.adaptive_pot is not None:
+            # The SPOT decision uses the thresholds as they stood *before*
+            # this observation — snapshot them so results and alerts record
+            # the values that actually fired, then advance the whole fleet
+            # with one array-native update.
+            thresholds = self._current_thresholds()
+            labels = self.adaptive_pot.update(scores.ravel()).reshape(scores.shape)
+            alerts = self.alert_policy.update(
+                step_index, scores, thresholds.ravel(), shard_width=self.num_variates
+            )
+        else:
+            thresholds = self._current_thresholds()
+            labels = (scores >= self.threshold).astype(np.int64)
+            alerts = self.alert_policy.update(
+                step_index, scores, self.threshold, shard_width=self.num_variates
+            )
         return FleetStepResult(
             step=step_index, scores=scores, labels=labels,
-            threshold=self.threshold, alerts=alerts,
+            threshold=self.threshold, thresholds=thresholds, alerts=alerts,
         )
+
+    def _current_thresholds(self) -> np.ndarray:
+        """The per-star thresholds in force right now, as ``(num_shards, N)``."""
+        if self.adaptive_pot is not None:
+            return self.adaptive_pot.thresholds.reshape(
+                self.num_shards, self.num_variates
+            ).copy()
+        return np.full((self.num_shards, self.num_variates), self.threshold)
 
     def run(self, exposures: np.ndarray, timestamps: np.ndarray | None = None) -> list[FleetStepResult]:
         """Step through ``(T, num_shards, N)`` exposures and collect the results."""

@@ -29,8 +29,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from .online_pot import IncrementalPOT
 from .timeline import seed_stream_state
+from .vector_pot import VectorizedIncrementalPOT, calibrate_adaptive_pot
 
 if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from ..core.detector import AeroDetector
@@ -182,7 +182,7 @@ class StreamStepResult:
     scores: np.ndarray
     labels: np.ndarray
     threshold: float
-    adaptive_threshold: float | None = None
+    adaptive_threshold: np.ndarray | None = None  # (N,) per-star thresholds
     ready: bool = True
 
 
@@ -195,12 +195,14 @@ class StreamingDetector:
         A fitted batch detector; its model, scaler, training-tail context and
         POT threshold are reused unchanged.
     adaptive_pot:
-        When ``True``, an :class:`IncrementalPOT` calibrated on the training
-        scores is updated with every emitted score and exposed as
-        ``adaptive_threshold`` (the fixed train-calibrated threshold keeps
-        producing the equivalence-grade ``labels``).
+        When ``True``, a per-star
+        :class:`~repro.streaming.vector_pot.VectorizedIncrementalPOT`
+        (one POT per variate, calibrated on that variate's training scores)
+        is advanced with every emitted score vector and exposed as the
+        ``(N,)`` ``adaptive_threshold`` array (the fixed train-calibrated
+        threshold keeps producing the equivalence-grade ``labels``).
     pot_refit_interval:
-        GPD re-fit cadence of the adaptive POT (ignored otherwise).
+        Per-star GPD re-fit cadence of the adaptive POT (ignored otherwise).
     seed_context:
         Seed the buffer with the detector's training tail (default), which is
         what the batch path prepends; disable for a cold-started star with no
@@ -236,13 +238,11 @@ class StreamingDetector:
         self._steps = 0
 
         self.threshold = detector.threshold()
-        self.adaptive_pot: IncrementalPOT | None = None
+        self.adaptive_pot: VectorizedIncrementalPOT | None = None
         if adaptive_pot:
-            self.adaptive_pot = IncrementalPOT(
-                q=self.config.pot_q,
-                level=self.config.pot_level,
-                refit_interval=pot_refit_interval,
-            ).fit(detector.train_scores_)
+            self.adaptive_pot = calibrate_adaptive_pot(
+                detector, num_stars=self.num_variates, refit_interval=pot_refit_interval
+            )
 
         if model.noise is not None and model.noise.graph_mode == "dynamic":
             model.noise.reset_dynamic_state()
@@ -258,6 +258,25 @@ class StreamingDetector:
     def warmed_up(self) -> bool:
         """Whether the buffer holds a full window (scores are being emitted)."""
         return self._buffer.is_full
+
+    @property
+    def threshold_refits(self) -> int:
+        """Total adaptive GPD re-fits across the stream's stars (0 if fixed)."""
+        return 0 if self.adaptive_pot is None else self.adaptive_pot.total_refits
+
+    # ------------------------------------------------------------------
+    def threshold_state(self) -> dict | None:
+        """Per-star adaptive threshold state, or ``None`` when fixed-threshold."""
+        return None if self.adaptive_pot is None else self.adaptive_pot.state_dict()
+
+    def load_threshold_state(self, state: dict) -> None:
+        """Restore (and enable) adaptive per-star thresholds from a state dict."""
+        pot = VectorizedIncrementalPOT.from_state_dict(state)
+        if pot.num_stars != self.num_variates:
+            raise ValueError(
+                f"threshold state covers {pot.num_stars} stars, stream has {self.num_variates}"
+            )
+        self.adaptive_pot = pot
 
     # ------------------------------------------------------------------
     def swap_model(self, source) -> None:
@@ -365,8 +384,8 @@ class StreamingDetector:
                 labels = (scores >= self.threshold).astype(np.int64)
                 adaptive = None
                 if self.adaptive_pot is not None:
-                    self.adaptive_pot.update_many(scores)
-                    adaptive = self.adaptive_pot.threshold
+                    self.adaptive_pot.update(scores)
+                    adaptive = self.adaptive_pot.thresholds.copy()
                 results.append(
                     StreamStepResult(
                         index=self._steps - count + position,

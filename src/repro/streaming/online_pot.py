@@ -145,6 +145,10 @@ class IncrementalPOT:
             raise RuntimeError("IncrementalPOT must be fitted before update")
         self._num_observations += 1
         if score > self.threshold:
+            # The observation count just grew; refresh the closed form before
+            # the early return, otherwise the threshold keeps using a stale n
+            # until the next benign score arrives.
+            self._recompute_threshold()
             return True
         if score > self.initial_threshold:
             self._push_excess(score - self.initial_threshold)
@@ -157,7 +161,12 @@ class IncrementalPOT:
         return False
 
     def update_many(self, scores: np.ndarray) -> np.ndarray:
-        """Vector version of :meth:`update`; returns the binary alarms."""
+        """Sequential scalar semantics over many scores; returns the alarms.
+
+        This feeds every score through **one** pot, one Python call each —
+        it is the slow path.  For one-score-per-star fleet ticks use
+        :class:`~repro.streaming.vector_pot.VectorizedIncrementalPOT`.
+        """
         return np.asarray(
             [self.update(float(s)) for s in np.asarray(scores, dtype=np.float64).ravel()],
             dtype=np.int64,

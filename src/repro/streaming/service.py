@@ -40,12 +40,13 @@ class ServiceStats:
     p50_latency_ms: float
     p99_latency_ms: float
     stars_per_second: float
+    threshold_refits: int = 0
 
     def format(self) -> str:
         return (
             f"steps={self.processed_steps} dropped={self.dropped_steps} "
             f"queue={self.queue_depth} (max {self.max_queue_depth}) "
-            f"alerts={self.alerts_fired} "
+            f"alerts={self.alerts_fired} refits={self.threshold_refits} "
             f"latency p50={self.p50_latency_ms:.2f}ms p99={self.p99_latency_ms:.2f}ms "
             f"throughput={self.stars_per_second:,.0f} stars/s"
         )
@@ -83,6 +84,7 @@ class StreamingService:
         self._dropped = 0
         self._max_queue_depth = 0
         self._alerts = 0
+        self._stars_per_step = 0
 
     # ------------------------------------------------------------------
     @property
@@ -117,6 +119,11 @@ class StreamingService:
             self._latencies.append(time.perf_counter() - started)
             self._processed += 1
             self._alerts += len(getattr(result, "alerts", ()))
+            scores = getattr(result, "scores", None)
+            if scores is not None:
+                # Remember how many variates one step scores, so throughput
+                # stays honest for scorers without a num_stars property.
+                self._stars_per_step = int(np.asarray(scores).size)
             drained.append(result)
         return drained
 
@@ -138,9 +145,20 @@ class StreamingService:
         latencies = np.asarray(self._latencies, dtype=np.float64)
         if latencies.size:
             mean = float(latencies.mean())
-            p50 = float(np.percentile(latencies, 50))
-            p99 = float(np.percentile(latencies, 99))
-            num_stars = getattr(self.fleet, "num_stars", 1)
+            if latencies.size > 1:
+                p50 = float(np.percentile(latencies, 50))
+                p99 = float(np.percentile(latencies, 99))
+            else:
+                # One sample is no distribution; report it verbatim instead
+                # of interpolating percentiles out of it.
+                p50 = p99 = float(latencies[0])
+            # A FleetManager advertises its star count; for a bare
+            # StreamingDetector (or any duck-typed scorer) fall back to the
+            # variate count actually scored per step, never to 1 — the old
+            # fallback under-reported throughput N-fold.
+            num_stars = getattr(self.fleet, "num_stars", None)
+            if num_stars is None:
+                num_stars = self._stars_per_step or getattr(self.fleet, "num_variates", 1)
             throughput = num_stars / mean if mean > 0 else float("inf")
         else:
             mean = p50 = p99 = 0.0
@@ -155,4 +173,5 @@ class StreamingService:
             p50_latency_ms=p50 * 1e3,
             p99_latency_ms=p99 * 1e3,
             stars_per_second=throughput,
+            threshold_refits=int(getattr(self.fleet, "threshold_refits", 0)),
         )

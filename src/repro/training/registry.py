@@ -16,8 +16,17 @@ Layout (one directory per name, one immutable directory per version)::
         v0001/
           model.npz        # the AeroDetector.save() artifact
           manifest.json    # {"name", "version", "metadata", ...}
+          calibration.npz  # optional per-star threshold state (see below)
         v0002/
           ...
+
+A version may additionally carry the serving fleet's **per-star threshold
+calibration** (``ModelRegistry.publish(..., calibration=...)`` with a
+:class:`repro.streaming.VectorizedIncrementalPOT`, a front-end exposing
+``threshold_state()``, or a plain state dict).  The manifest records the
+sidecar and its star count; :meth:`ModelRegistry.deploy` restores it into
+the target front-end after the hot swap, so a redeployed fleet keeps its
+adapted per-star thresholds instead of re-calibrating from train scores.
 
 Publishes are atomic at the directory level: the artifact is staged into a
 hidden temp directory and ``rename``d into place, so a concurrently reading
@@ -34,6 +43,8 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - imports only for type checkers
     from ..core.detector import AeroDetector
@@ -62,6 +73,16 @@ class ModelVersion:
         return self.path / ModelRegistry.ARTIFACT
 
     @property
+    def calibration_path(self) -> Path:
+        """The per-star threshold-state sidecar of this version."""
+        return self.path / ModelRegistry.CALIBRATION
+
+    @property
+    def has_calibration(self) -> bool:
+        """Whether this version was published with per-star thresholds."""
+        return self.calibration_path.exists()
+
+    @property
     def label(self) -> str:
         return f"{self.name}@v{self.version:04d}"
 
@@ -71,6 +92,7 @@ class ModelRegistry:
 
     ARTIFACT = "model.npz"
     MANIFEST = "manifest.json"
+    CALIBRATION = "calibration.npz"
     _PUBLISH_RETRIES = 16
 
     def __init__(self, root: str | Path):
@@ -136,6 +158,27 @@ class ModelRegistry:
         """Load a published version and compile it into tape-free plans."""
         return self.load_detector(name, version).compile(dtype=dtype)
 
+    def load_calibration(self, name: str, version: int | None = None):
+        """Load a version's per-star threshold state, ready to serve.
+
+        Returns a :class:`repro.streaming.VectorizedIncrementalPOT` restored
+        bit-for-bit from the published ``calibration.npz`` — thresholds,
+        excess sets, observation counts and re-fit cadence intact, no
+        re-calibration.  Raises :class:`KeyError` when the version was
+        published without calibration.
+        """
+        from ..streaming.vector_pot import VectorizedIncrementalPOT
+
+        resolved = self.get(name, version)
+        return VectorizedIncrementalPOT.from_state_dict(self._read_calibration_state(resolved))
+
+    @staticmethod
+    def _read_calibration_state(resolved: ModelVersion) -> dict:
+        if not resolved.has_calibration:
+            raise KeyError(f"{resolved.label} was published without per-star calibration")
+        with np.load(resolved.calibration_path) as archive:
+            return {key: archive[key] for key in archive.files}
+
     # ------------------------------------------------------------------
     # writing
     # ------------------------------------------------------------------
@@ -144,15 +187,23 @@ class ModelRegistry:
         name: str,
         source: "AeroDetector | str | Path",
         metadata: dict | None = None,
+        calibration=None,
     ) -> ModelVersion:
         """Publish a fitted detector (or an existing artifact) as a new version.
 
         ``source`` is either a fitted :class:`~repro.core.AeroDetector`
         (saved into the registry) or a path to an ``AeroDetector.save()``
-        artifact (copied in).  Returns the new :class:`ModelVersion`.
+        artifact (copied in).  ``calibration`` optionally snapshots per-star
+        threshold state alongside the model: a
+        :class:`repro.streaming.VectorizedIncrementalPOT`, any serving
+        front-end exposing ``threshold_state()`` (a per-star
+        :class:`~repro.streaming.FleetManager` or
+        :class:`~repro.streaming.StreamingDetector`), or a plain state
+        dict.  Returns the new :class:`ModelVersion`.
         """
         name = self._check_name(name)
         metadata = dict(metadata or {})
+        state = self._resolve_calibration(calibration)
         model_dir = self.root / name
         model_dir.mkdir(parents=True, exist_ok=True)
 
@@ -170,6 +221,12 @@ class ModelRegistry:
                     "artifact": self.ARTIFACT,
                     "metadata": metadata,
                 }
+                if state is not None:
+                    np.savez_compressed(staging / self.CALIBRATION, **state)
+                    manifest["calibration"] = self.CALIBRATION
+                    manifest["calibration_stars"] = int(
+                        np.asarray(state["thresholds"]).size
+                    )
                 (staging / self.MANIFEST).write_text(json.dumps(manifest, indent=2))
             except Exception:
                 shutil.rmtree(staging, ignore_errors=True)
@@ -187,6 +244,31 @@ class ModelRegistry:
         raise RuntimeError(
             f"could not publish {name!r}: lost {self._PUBLISH_RETRIES} version races in a row"
         )
+
+    @staticmethod
+    def _resolve_calibration(calibration) -> dict | None:
+        """Normalise a publishable calibration into a state dict of arrays."""
+        if calibration is None:
+            return None
+        if isinstance(calibration, dict):
+            state = calibration
+        elif hasattr(calibration, "state_dict"):
+            state = calibration.state_dict()
+        elif hasattr(calibration, "threshold_state"):
+            state = calibration.threshold_state()
+            if state is None:
+                raise ValueError(
+                    "the serving front-end has no per-star threshold state to publish "
+                    "(adaptive per-star thresholds are not enabled on it)"
+                )
+        else:
+            raise TypeError(
+                "calibration must be a VectorizedIncrementalPOT, a front-end with "
+                f"threshold_state(), or a state dict — got {type(calibration).__name__}"
+            )
+        if "thresholds" not in state:
+            raise ValueError("calibration state is missing its 'thresholds' array")
+        return state
 
     def _write_artifact(self, source, destination: Path) -> None:
         if isinstance(source, (str, Path)):
@@ -206,7 +288,14 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     # serving integration
     # ------------------------------------------------------------------
-    def deploy(self, name: str, target, version: int | None = None, dtype=None):
+    def deploy(
+        self,
+        name: str,
+        target,
+        version: int | None = None,
+        dtype=None,
+        restore_calibration: bool = True,
+    ):
         """Hot-swap a published version into a running serving front-end.
 
         ``target`` is anything exposing ``swap_model`` — a
@@ -214,13 +303,45 @@ class ModelRegistry:
         :class:`~repro.streaming.StreamingDetector`.  With ``dtype`` given,
         the version is compiled first and the target serves the tape-free
         plans; otherwise the target keeps its current backend kind.
-        Returns the deployed :class:`ModelVersion`.
+
+        When the version was published with per-star calibration and the
+        target is *already* serving adaptive per-star thresholds
+        (``restore_calibration`` left on), the published threshold state is
+        restored after the swap: the target serves the published per-star
+        thresholds — excess sets, observation counts and re-fit cadence
+        intact — instead of re-calibrating from the new model's train
+        scores.  A target deliberately running the frozen global threshold
+        is left alone (enable per-star mode, or call
+        ``load_threshold_state`` yourself, to opt in).  Star-count
+        mismatches are rejected *before* the swap, so a failed deploy never
+        leaves the target half-migrated.  Returns the deployed
+        :class:`ModelVersion`.
         """
         resolved = self.get(name, version)
+        state = None
+        if (
+            restore_calibration
+            and resolved.has_calibration
+            and hasattr(target, "load_threshold_state")
+            and getattr(target, "threshold_state", lambda: None)() is not None
+        ):
+            state = self._read_calibration_state(resolved)
+            published_stars = int(np.asarray(state["thresholds"]).size)
+            target_stars = getattr(target, "num_stars", None) or getattr(
+                target, "num_variates", None
+            )
+            if target_stars is not None and published_stars != target_stars:
+                raise ValueError(
+                    f"{resolved.label} calibration covers {published_stars} stars but the "
+                    f"target serves {target_stars}; aborting before the model swap"
+                )
         if dtype is not None:
             target.swap_model(self.load_compiled(name, resolved.version, dtype=dtype))
         else:
             target.swap_model(self.load_detector(name, resolved.version))
+        if state is not None:
+            target.load_threshold_state(state)
+            logger.info("[registry] restored per-star thresholds from %s", resolved.label)
         logger.info("[registry] deployed %s into %s", resolved.label, type(target).__name__)
         return resolved
 

@@ -173,14 +173,48 @@ class TestStreamingEquivalence:
         stream_scores = stream.score_series(dataset.test, dataset.test_timestamps)
         assert np.array_equal(batch_scores, stream_scores)
 
-    def test_adaptive_pot_tracks_threshold(self, fitted):
+    def test_adaptive_pot_tracks_per_star_thresholds(self, fitted):
         detector, dataset = fitted
         stream = detector.stream(adaptive_pot=True, pot_refit_interval=8)
         result = None
         for row in dataset.test[:10]:
             result = stream.step(row)
         assert result.adaptive_threshold is not None
-        assert np.isfinite(result.adaptive_threshold)
+        assert result.adaptive_threshold.shape == (stream.num_variates,)
+        assert np.isfinite(result.adaptive_threshold).all()
+
+    def test_adaptive_pot_matches_scalar_per_variate_reference(self, fitted):
+        # The stream's vectorized POT must equal one scalar IncrementalPOT
+        # per variate, calibrated on that variate's training scores.
+        detector, dataset = fitted
+        stream = detector.stream(adaptive_pot=True, pot_refit_interval=8)
+        train = np.asarray(detector.train_scores_)
+        refs = [
+            IncrementalPOT(
+                q=detector.config.pot_q, level=detector.config.pot_level, refit_interval=8
+            ).fit(train[:, v])
+            for v in range(stream.num_variates)
+        ]
+        for row in dataset.test[:20]:
+            result = stream.step(row)
+            for ref, score in zip(refs, result.scores):
+                ref.update(float(score))
+            np.testing.assert_array_equal(
+                result.adaptive_threshold, [ref.threshold for ref in refs]
+            )
+
+    def test_threshold_state_round_trip(self, fitted):
+        detector, dataset = fitted
+        stream = detector.stream(adaptive_pot=True)
+        for row in dataset.test[:10]:
+            stream.step(row)
+        state = stream.threshold_state()
+        other = detector.stream(adaptive_pot=False)
+        assert other.threshold_state() is None
+        other.load_threshold_state(state)
+        np.testing.assert_array_equal(
+            other.adaptive_pot.thresholds, stream.adaptive_pot.thresholds
+        )
 
 
 class TestStreamingWarmup:
@@ -221,6 +255,17 @@ class TestIncrementalPOT:
         inc = IncrementalPOT(q=1e-3, level=0.99).fit(scores)
         batch = pot_threshold(scores, level=0.99, q=1e-3)
         assert inc.threshold == pytest.approx(batch, rel=0.15)
+
+    def test_anomaly_branch_refreshes_threshold(self):
+        rng = np.random.default_rng(6)
+        cal = rng.exponential(size=2000)
+        anomalous, benign = IncrementalPOT().fit(cal), IncrementalPOT().fit(cal)
+        assert anomalous.update(1e9)       # anomaly branch
+        assert not benign.update(1e-9)     # benign, below the initial threshold
+        # Both saw one more observation and no new excess, so their
+        # closed-form thresholds must agree — the anomaly branch used to
+        # return early with a stale observation count.
+        assert anomalous.threshold == benign.threshold
 
     def test_flags_extreme_scores(self):
         rng = np.random.default_rng(1)
@@ -323,6 +368,29 @@ class TestAlertPolicy:
         assert len(alerts) == 1
         assert alerts[0].shard == 1 and alerts[0].variate == 2 and alerts[0].star == 5
 
+    def test_explicit_shard_width_fixes_flattened_input(self):
+        # Pre-flattened fleet scores carry no geometry; inferring the shard
+        # width from the last axis would decode every alert as shard 0.
+        policy = AlertPolicy(min_consecutive=1, cooldown=0)
+        flat = np.zeros(6)
+        flat[5] = 7.0
+        alerts = policy.update(0, flat, 1.0, shard_width=3)
+        assert len(alerts) == 1
+        assert alerts[0].shard == 1 and alerts[0].variate == 2 and alerts[0].star == 5
+        with pytest.raises(ValueError):
+            policy.update(1, flat, 1.0, shard_width=0)
+
+    def test_per_star_thresholds_gate_and_are_recorded(self):
+        policy = AlertPolicy(min_consecutive=1, cooldown=0)
+        scores = np.array([2.0, 2.0, 2.0])
+        thresholds = np.array([1.0, 3.0, 1.5])
+        alerts = policy.update(0, scores, thresholds)
+        assert [a.star for a in alerts] == [0, 2]
+        # Each alert records the threshold that actually fired it.
+        assert [a.threshold for a in alerts] == [1.0, 1.5]
+        with pytest.raises(ValueError):
+            policy.update(1, scores, np.array([1.0, 2.0]))
+
 
 class TestFleetManager:
     def test_fleet_matches_single_stream(self, fitted):
@@ -391,6 +459,22 @@ class TestFleetManager:
         assert result.ready
         assert np.isfinite(result.scores).all()
 
+    def test_global_mode_reports_uniform_thresholds(self, fitted):
+        detector, dataset = fitted
+        fleet = FleetManager(detector, num_shards=2)
+        result = fleet.step(np.stack([dataset.test[0]] * 2))
+        assert fleet.threshold_mode == "global"
+        assert fleet.adaptive_pot is None
+        assert fleet.threshold_refits == 0
+        np.testing.assert_array_equal(
+            result.thresholds, np.full(result.scores.shape, fleet.threshold)
+        )
+
+    def test_threshold_mode_is_validated(self, fitted):
+        detector, _ = fitted
+        with pytest.raises(ValueError):
+            FleetManager(detector, num_shards=2, threshold_mode="adaptive")
+
     def test_run_collects_alerts(self, fitted):
         detector, dataset = fitted
         fleet = FleetManager(detector, num_shards=2,
@@ -399,6 +483,102 @@ class TestFleetManager:
         results = fleet.run(exposures)
         assert len(results) == 10
         assert all(r.scores.shape == (2, detector.model.num_variates) for r in results)
+
+
+class TestPerStarFleet:
+    """threshold_mode='per_star': adaptive thresholds as a fleet capability."""
+
+    @staticmethod
+    def scalar_references(detector, num_stars, refit_interval=32):
+        """One scalar IncrementalPOT per star, per-variate calibration tiled."""
+        train = np.asarray(detector.train_scores_)
+        num_variates = train.shape[1]
+        return [
+            IncrementalPOT(
+                q=detector.config.pot_q,
+                level=detector.config.pot_level,
+                refit_interval=refit_interval,
+            ).fit(train[:, star % num_variates])
+            for star in range(num_stars)
+        ]
+
+    def test_per_star_ticks_match_scalar_pot_instances(self, fitted):
+        detector, dataset = fitted
+        fleet = FleetManager(detector, num_shards=2, threshold_mode="per_star")
+        refs = self.scalar_references(detector, fleet.num_stars)
+        np.testing.assert_array_equal(
+            fleet.adaptive_pot.thresholds, [ref.threshold for ref in refs]
+        )
+        for t in range(15):
+            result = fleet.step(np.stack([dataset.test[t]] * 2))
+            # Result thresholds are the pre-update snapshot: the values the
+            # tick's labels were decided against.
+            np.testing.assert_array_equal(
+                result.thresholds.ravel(), [ref.threshold for ref in refs]
+            )
+            expected = np.array(
+                [ref.update(float(s)) for ref, s in zip(refs, result.scores.ravel())],
+                dtype=np.int64,
+            )
+            np.testing.assert_array_equal(result.labels.ravel(), expected)
+
+    def test_alerts_record_the_per_star_threshold_that_fired(self, fitted):
+        detector, dataset = fitted
+        fleet = FleetManager(
+            detector, num_shards=2, threshold_mode="per_star",
+            alert_policy=AlertPolicy(min_consecutive=1, cooldown=0),
+        )
+        spike = np.stack([dataset.test[0]] * 2) + 50.0
+        result = fleet.step(spike)
+        assert result.alerts
+        thresholds = result.thresholds
+        for alert in result.alerts:
+            assert alert.threshold == thresholds[alert.shard, alert.variate]
+
+    def test_swap_model_carries_adaptive_state(self, fitted):
+        detector, dataset = fitted
+        fleet = FleetManager(detector, num_shards=2, threshold_mode="per_star")
+        for t in range(10):
+            fleet.step(np.stack([dataset.test[t]] * 2))
+        pot = fleet.adaptive_pot
+        thresholds = pot.thresholds.copy()
+        observations = pot.num_observations.copy()
+        fleet.swap_model(detector)
+        assert fleet.adaptive_pot is pot
+        np.testing.assert_array_equal(fleet.adaptive_pot.thresholds, thresholds)
+        np.testing.assert_array_equal(fleet.adaptive_pot.num_observations, observations)
+        # And the stream keeps adapting after the swap.
+        result = fleet.step(np.stack([dataset.test[10]] * 2))
+        assert result.ready
+        assert (fleet.adaptive_pot.num_observations == observations + 1).all()
+
+    def test_threshold_state_round_trip_between_fleets(self, fitted):
+        detector, dataset = fitted
+        fleet = FleetManager(detector, num_shards=2, threshold_mode="per_star")
+        for t in range(10):
+            fleet.step(np.stack([dataset.test[t]] * 2))
+        state = fleet.threshold_state()
+        other = FleetManager(detector, num_shards=2)
+        assert other.threshold_state() is None
+        other.load_threshold_state(state)
+        assert other.threshold_mode == "per_star"
+        np.testing.assert_array_equal(
+            other.adaptive_pot.thresholds, fleet.adaptive_pot.thresholds
+        )
+        wrong = FleetManager(detector, num_shards=3)
+        with pytest.raises(ValueError):
+            wrong.load_threshold_state(state)
+
+    def test_cold_start_reports_calibration_thresholds(self, fitted):
+        detector, dataset = fitted
+        fleet = FleetManager(detector, num_shards=2, seed_context=False,
+                             threshold_mode="per_star")
+        calibration = fleet.adaptive_pot.thresholds.copy()
+        result = fleet.step(np.stack([dataset.test[0]] * 2))
+        assert not result.ready
+        np.testing.assert_array_equal(result.thresholds.ravel(), calibration)
+        # Warm-up ticks must not advance the POT (no scores were emitted).
+        np.testing.assert_array_equal(fleet.adaptive_pot.thresholds, calibration)
 
 
 class TestStreamingService:
@@ -456,6 +636,40 @@ class TestStreamingService:
         results = service.run(exposures)
         assert len(results) == 5
         assert service.stats().processed_steps == 5
+
+    def test_throughput_counts_variates_of_a_bare_stream(self, fitted):
+        # Wrapping a StreamingDetector (no num_stars property) must fall back
+        # to the scored variate count, not to 1 star.
+        detector, dataset = fitted
+        service = StreamingService(StreamingDetector(detector))
+        for t in range(4):
+            service.submit(dataset.test[t])
+        service.drain()
+        stats = service.stats()
+        mean_seconds = stats.mean_latency_ms / 1e3
+        expected = detector.model.num_variates / mean_seconds
+        assert stats.stars_per_second == pytest.approx(expected)
+
+    def test_single_latency_sample_reports_itself(self, fitted):
+        detector, dataset = fitted
+        service = StreamingService(FleetManager(detector, num_shards=2))
+        service.submit(np.stack([dataset.test[0]] * 2))
+        service.drain()
+        stats = service.stats()
+        assert stats.p50_latency_ms == stats.p99_latency_ms == pytest.approx(
+            stats.mean_latency_ms
+        )
+
+    def test_stats_report_threshold_refits(self, fitted):
+        detector, dataset = fitted
+        fleet = FleetManager(detector, num_shards=2, threshold_mode="per_star")
+        service = StreamingService(fleet)
+        for t in range(5):
+            service.submit(np.stack([dataset.test[t]] * 2))
+        service.drain()
+        stats = service.stats()
+        assert stats.threshold_refits == fleet.adaptive_pot.total_refits
+        assert "refits=" in stats.format()
 
     def test_run_returns_only_its_own_results(self, fitted):
         detector, dataset = fitted

@@ -168,12 +168,17 @@ class TestStreamingHotSwap:
         rng = np.random.default_rng(29)
         for _ in range(3):
             stream.step(rng.normal(10.0, 1.0, size=old.model.num_variates))
-        adaptive_before = stream.adaptive_pot.threshold
+        pot_before = stream.adaptive_pot
+        adaptive_before = stream.adaptive_pot.thresholds.copy()
         stream.swap_model(new)
-        assert stream.adaptive_pot is not None
+        # The per-star adaptive state rides across the swap untouched and
+        # keeps adapting against the new model's scores.
+        assert stream.adaptive_pot is pot_before
+        np.testing.assert_array_equal(stream.adaptive_pot.thresholds, adaptive_before)
         result = stream.step(rng.normal(10.0, 1.0, size=old.model.num_variates))
         assert result.adaptive_threshold is not None
-        assert np.isfinite(adaptive_before)
+        assert result.adaptive_threshold.shape == (old.model.num_variates,)
+        assert np.isfinite(adaptive_before).all()
 
     def test_swap_to_prebuilt_compiled_plans(self, detectors):
         old, new = detectors

@@ -123,6 +123,87 @@ class TestLoading:
         assert version.artifact_path.exists()
         assert registry.load_detector("field-a").threshold() == fitted_detector.threshold()
 
+    def test_publish_and_restore_per_star_calibration(self, tmp_path, fitted_detector):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        fleet = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            fleet.step(rng.normal(10.0, 1.0, size=(2, 3)))
+        adapted = fleet.adaptive_pot.thresholds.copy()
+
+        version = registry.publish("field-a", fitted_detector, calibration=fleet)
+        assert version.has_calibration
+        manifest = json.loads((version.path / ModelRegistry.MANIFEST).read_text())
+        assert manifest["calibration"] == ModelRegistry.CALIBRATION
+        assert manifest["calibration_stars"] == fleet.num_stars
+
+        # Standalone load restores the exact per-star state.
+        restored = registry.load_calibration("field-a")
+        np.testing.assert_array_equal(restored.thresholds, adapted)
+
+        # Deploy into a fresh fleet: thresholds come from the registry, not
+        # from re-calibrating against the train scores.
+        fresh = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        assert not np.array_equal(fresh.adaptive_pot.thresholds, adapted)
+        registry.deploy("field-a", fresh)
+        np.testing.assert_array_equal(fresh.adaptive_pot.thresholds, adapted)
+
+        # Opting out keeps the target's own calibration.
+        keep = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        own = keep.adaptive_pot.thresholds.copy()
+        registry.deploy("field-a", keep, restore_calibration=False)
+        np.testing.assert_array_equal(keep.adaptive_pot.thresholds, own)
+
+    def test_deploy_leaves_global_mode_targets_alone(self, tmp_path, fitted_detector):
+        # A fleet deliberately serving the frozen global threshold must not
+        # be silently flipped to per-star semantics by a calibration sidecar.
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        donor = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        registry.publish("field-a", fitted_detector, calibration=donor)
+        target = FleetManager(fitted_detector, num_shards=2)
+        registry.deploy("field-a", target)
+        assert target.threshold_mode == "global"
+        assert target.adaptive_pot is None
+
+    def test_deploy_rejects_star_mismatch_before_the_swap(self, tmp_path, fitted_detector):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        donor = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        registry.publish("field-a", fitted_detector, calibration=donor)
+        mismatched = FleetManager(fitted_detector, num_shards=3, threshold_mode="per_star")
+        before = mismatched.adaptive_pot.thresholds.copy()
+        with pytest.raises(ValueError, match="before the model swap"):
+            registry.deploy("field-a", mismatched)
+        # The failed deploy touched nothing: same thresholds, same model.
+        np.testing.assert_array_equal(mismatched.adaptive_pot.thresholds, before)
+        assert mismatched.detector is fitted_detector
+
+    def test_versions_without_calibration_say_so(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        assert not registry.get("field-a").has_calibration
+        with pytest.raises(KeyError):
+            registry.load_calibration("field-a")
+
+    def test_publish_rejects_bogus_calibration(self, tmp_path, fitted_detector):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(TypeError):
+            registry.publish("field-a", fitted_detector, calibration=object())
+        with pytest.raises(ValueError):
+            registry.publish("field-a", fitted_detector, calibration={"bogus": np.zeros(3)})
+        global_fleet = FleetManager(fitted_detector, num_shards=2)
+        with pytest.raises(ValueError):
+            registry.publish("field-a", fitted_detector, calibration=global_fleet)
+        # Failed publishes must not burn version numbers or leave debris.
+        assert registry.versions("field-a") == []
+
     def test_publish_rejects_bogus_sources(self, tmp_path):
         registry = ModelRegistry(tmp_path)
         with pytest.raises(FileNotFoundError):
