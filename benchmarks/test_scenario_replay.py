@@ -1,0 +1,92 @@
+"""Benchmark S3 — scenario replay at fleet scale: faults must not slow serving.
+
+Replays a 32-star survey night (8 shards x 4 variates) through the
+:class:`~repro.simulation.ReplayHarness` twice — once clean, once with the
+full fault cocktail (5% NaN gaps, dropout, duplicates, reordering) — and
+enforces:
+
+* **throughput** — the harness sustains fleet-scale replay (one vectorised
+  model call per tick) at more than ``MIN_TICKS_PER_SECOND``;
+* **fault overhead** — NaN masking, imputation and re-arm tracking cost at
+  most ``MAX_FAULT_OVERHEAD`` extra wall-clock versus the clean night;
+* **determinism at scale** — two replays of the faulty night produce
+  bit-identical traces.
+"""
+
+import time
+
+import pytest
+
+from conftest import run_once
+
+from repro.core import AeroConfig, AeroDetector
+from repro.evaluation import pot_threshold
+from repro.simulation import ReplayHarness, ScenarioConfig, build_scenario
+from repro.streaming import AlertPolicy, FleetManager
+
+NUM_SHARDS = 8
+MIN_TICKS_PER_SECOND = 5.0
+MAX_FAULT_OVERHEAD = 1.6
+
+DETECTOR = AeroConfig.fast(window=32, short_window=8).scaled(
+    max_epochs_stage1=10, max_epochs_stage2=5, learning_rate=5e-3,
+    d_model=24, num_heads=2, train_stride=2, batch_size=16,
+)
+
+CLEAN = ScenarioConfig(
+    name="clean-night", num_shards=NUM_SHARDS, seed=7,
+    nan_fraction=0.0, num_dropouts=0, num_duplicate_frames=0,
+    num_reordered_frames=0, num_drift_stars=0, cadence_jitter_seconds=0.0,
+)
+FAULTY = ScenarioConfig(name="faulty-night", num_shards=NUM_SHARDS, seed=7)
+
+
+def _replay(detector, scenario, threshold):
+    fleet = FleetManager(
+        detector,
+        num_shards=scenario.config.num_shards,
+        alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
+        threshold=threshold,
+    )
+    started = time.perf_counter()
+    report, trace = ReplayHarness(fleet, scenario).run()
+    return report, trace, time.perf_counter() - started
+
+
+def _run():
+    clean = build_scenario(CLEAN)
+    faulty = build_scenario(FAULTY)
+    detector = AeroDetector(DETECTOR)
+    detector.fit(clean.train, clean.train_timestamps)
+    threshold = pot_threshold(
+        detector.score(clean.calibration, clean.calibration_timestamps), q=5e-3
+    )
+
+    _, _, clean_seconds = _replay(detector, clean, threshold)
+    report, first, faulty_seconds = _replay(detector, faulty, threshold)
+    _, second, _ = _replay(detector, faulty, threshold)
+    return {
+        "clean_seconds": clean_seconds,
+        "faulty_seconds": faulty_seconds,
+        "ticks": first.num_ticks,
+        "recall": report.recall,
+        "traces_identical": first.matches(second),
+    }
+
+
+@pytest.mark.slow
+def test_scenario_replay_throughput(benchmark):
+    result = run_once(benchmark, _run)
+
+    ticks_per_second = result["ticks"] / result["faulty_seconds"]
+    overhead = result["faulty_seconds"] / result["clean_seconds"]
+    print(
+        f"\nreplay of {result['ticks']} ticks x {NUM_SHARDS} shards: "
+        f"clean {result['clean_seconds']:.2f}s, "
+        f"faulty {result['faulty_seconds']:.2f}s "
+        f"({ticks_per_second:.1f} ticks/s, fault overhead {overhead:.2f}x), "
+        f"recall {result['recall']:.2f}"
+    )
+    assert result["traces_identical"], "faulty-night replay must be deterministic"
+    assert ticks_per_second >= MIN_TICKS_PER_SECOND
+    assert overhead <= MAX_FAULT_OVERHEAD

@@ -1,0 +1,94 @@
+"""Scenario simulation & replay validation: prove the fleet catches events.
+
+The streaming examples replay clean, aligned nights; real surveys are not
+clean.  This walkthrough builds a *seeded survey-night scenario* — flares,
+microlensing and eclipses injected into an 8-star field, buried under NaN
+gaps, a star dropout/rejoin, cadence jitter, baseline drift, duplicated and
+out-of-order frames — and proves, end to end, that the serving stack pages
+on the injected events and stays quiet otherwise:
+
+1. build the scenario (a pure function of its seed: bit-reproducible);
+2. train AERO on the scenario's reference archive;
+3. calibrate the serving threshold on the *held-out* quiet stretch
+   (train-score calibration sits too low: the model memorizes its noise);
+4. replay the night tick by tick through a FleetManager and score the
+   fired alerts against ground truth (event recall, latency, false pages);
+5. pin the behaviour with a golden trace and diff a re-run against it.
+
+Run with:  PYTHONPATH=src python examples/scenario_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core import AeroConfig, AeroDetector
+from repro.evaluation import pot_threshold
+from repro.simulation import ReplayHarness, ReplayTrace, ScenarioConfig, build_scenario
+from repro.streaming import AlertPolicy, FleetManager
+
+
+def main() -> None:
+    # --- 1. a seeded survey night --------------------------------------
+    scenario = build_scenario(ScenarioConfig(seed=7))
+    print(scenario.describe())
+    for event in scenario.events:
+        print(f"  truth: {event.kind:12s} star {event.star} "
+              f"ticks [{event.start}, {event.end}) amplitude {event.amplitude:.2f}")
+    for fault in scenario.faults:
+        if fault.kind in ("dropout", "drift"):
+            print(f"  fault: {fault.kind:12s} star {fault.star} ticks [{fault.start}, {fault.end})")
+
+    # --- 2. train on the reference archive -----------------------------
+    config = AeroConfig.fast(window=32, short_window=8).scaled(
+        max_epochs_stage1=16, max_epochs_stage2=8, learning_rate=5e-3,
+        d_model=24, num_heads=2, train_stride=2, batch_size=16,
+    )
+    detector = AeroDetector(config)
+    detector.fit(scenario.train, scenario.train_timestamps)
+
+    # --- 3. serving-side threshold from the held-out quiet stretch ------
+    calibration_scores = detector.score(scenario.calibration, scenario.calibration_timestamps)
+    threshold = pot_threshold(calibration_scores, q=5e-3)
+    print(f"\ntrain-score threshold {detector.threshold():.3f} -> "
+          f"held-out calibration threshold {threshold:.3f}")
+
+    # --- 4. replay the night and score the alerts ----------------------
+    fleet = FleetManager(
+        detector,
+        num_shards=scenario.config.num_shards,
+        alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
+        threshold=threshold,
+    )
+    report, trace = ReplayHarness(fleet, scenario).run()
+    print(f"\n{report.format()}")
+    for outcome in report.outcomes:
+        event = outcome.event
+        verdict = (
+            f"caught at tick {outcome.first_alert_seq} (latency {outcome.latency})"
+            if outcome.detected
+            else "MISSED"
+        )
+        print(f"  {event.kind:12s} star {event.star} [{event.start:3d},{event.end:3d})  {verdict}")
+
+    # --- 5. golden-trace pinning ---------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        golden_path = Path(tmp) / "golden.npz"
+        trace.save(golden_path)
+        rerun_fleet = FleetManager(
+            detector,
+            num_shards=scenario.config.num_shards,
+            alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
+            threshold=threshold,
+        )
+        _, rerun_trace = ReplayHarness(rerun_fleet, scenario).run()
+        rerun_trace.assert_matches(ReplayTrace.load(golden_path))
+        print(f"\nre-run is bit-identical to the saved golden trace "
+              f"({trace.num_ticks} ticks, {trace.num_alerts} alerts)")
+        perturbed = ReplayTrace.load(golden_path)
+        perturbed.scores[10, 0, 0] += 1e-6
+        mismatches = rerun_trace.diff(perturbed)
+        print(f"a perturbed trace is caught: {mismatches[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,9 @@ Astronomical Observations" (ICDE 2024).  The package layers:
 * :mod:`repro.experiments` — runners regenerating every table and figure;
 * :mod:`repro.runtime` — compiled tape-free inference plans for serving;
 * :mod:`repro.training` — resumable sessions, parallel fleet training and
-  the model registry feeding the serving fleet.
+  the model registry feeding the serving fleet;
+* :mod:`repro.simulation` — seeded survey-night scenarios, fault injection,
+  replay validation and golden-trace regression pinning.
 """
 
 from .core import AeroConfig, AeroDetector, AeroModel, build_variant
@@ -31,8 +33,15 @@ from .training import (
     ModelRegistry,
     TrainingSession,
 )
+from .simulation import (
+    ReplayHarness,
+    ReplayTrace,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AeroConfig",
@@ -56,5 +65,10 @@ __all__ = [
     "TrainingSession",
     "FleetTrainer",
     "ModelRegistry",
+    "ReplayHarness",
+    "ReplayTrace",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
     "__version__",
 ]

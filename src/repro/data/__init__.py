@@ -16,6 +16,7 @@ from .anomalies import (
     supernova_template,
     inject_anomaly,
     random_anomaly,
+    render_template,
     AnomalyInjection,
     ANOMALY_TYPES,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "supernova_template",
     "inject_anomaly",
     "random_anomaly",
+    "render_template",
     "AnomalyInjection",
     "ANOMALY_TYPES",
     "drift_noise",

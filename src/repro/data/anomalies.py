@@ -33,6 +33,7 @@ __all__ = [
     "AnomalyInjection",
     "inject_anomaly",
     "random_anomaly",
+    "render_template",
     "ANOMALY_TYPES",
 ]
 
@@ -135,6 +136,21 @@ class AnomalyInjection:
         return self.start + self.length
 
 
+def render_template(kind: str, length: int, amplitude: float) -> np.ndarray:
+    """Render a named anomaly template with one uniform amplitude knob.
+
+    Dispatches through :data:`ANOMALY_TYPES` and hides the one asymmetry in
+    the template signatures (an eclipse's strength is its ``depth``), so
+    callers that compose events by name — the scenario builders in
+    :mod:`repro.simulation` — need no per-kind special cases.
+    """
+    if kind not in ANOMALY_TYPES:
+        raise ValueError(f"unknown anomaly kind {kind!r}; options: {sorted(ANOMALY_TYPES)}")
+    if kind == "eclipse":
+        return eclipse_template(length, depth=amplitude)
+    return ANOMALY_TYPES[kind](length, amplitude=amplitude)
+
+
 def random_anomaly(
     rng: np.random.Generator,
     length_range: tuple[int, int] = (8, 40),
@@ -146,11 +162,7 @@ def random_anomaly(
     kind = str(rng.choice(list(kinds)))
     length = int(rng.integers(length_range[0], length_range[1] + 1))
     amplitude = float(rng.uniform(*amplitude_range))
-    if kind == "eclipse":
-        template = eclipse_template(length, depth=amplitude)
-    else:
-        template = ANOMALY_TYPES[kind](length, amplitude=amplitude)
-    return kind, template
+    return kind, render_template(kind, length, amplitude)
 
 
 def inject_anomaly(

@@ -1,0 +1,67 @@
+"""Scenario simulation & replay validation for the serving stack.
+
+Every other test layer in this repository checks *numbers* — streaming ==
+batch, compiled == autograd, vectorised POT == scalar POT.  This package
+checks the *product*: that a fleet serving a realistic survey night — NaN
+gaps, star dropouts, cadence jitter, duplicated and out-of-order frames,
+baseline drift — actually raises alerts on the celestial events hidden in
+it, and on nothing else.
+
+* :mod:`~repro.simulation.scenario` — seeded, bit-reproducible survey-night
+  builders composing the anomaly templates of :mod:`repro.data.anomalies`
+  with fault injectors, emitting exact per-star ground-truth intervals;
+* :mod:`~repro.simulation.faults` — the individual fault injectors;
+* :mod:`~repro.simulation.replay` — :class:`ReplayHarness`, which drives a
+  fleet tick by tick over a scenario's arrival schedule and scores the
+  fired alerts (event-level precision/recall, detection-latency
+  distribution, quiet-star false-alert budget);
+* :mod:`~repro.simulation.trace` — :class:`ReplayTrace` golden-trace
+  record/replay: per-tick scores/thresholds/alerts serialised to npz and
+  diffed against a committed known-good trace for regression pinning.
+"""
+
+from .faults import (
+    FaultEvent,
+    apply_baseline_drift,
+    duplicate_arrivals,
+    inject_dropout,
+    inject_nan_gaps,
+    jitter_timestamps,
+    reorder_arrivals,
+)
+from .scenario import (
+    Frame,
+    Scenario,
+    ScenarioConfig,
+    ScenarioEvent,
+    StarProfile,
+    build_scenario,
+    render_star_profiles,
+    sample_star_profiles,
+)
+from .replay import EventOutcome, ReplayHarness, ReplayReport, score_replay
+from .trace import ReplayTrace, TraceMismatch
+
+__all__ = [
+    "FaultEvent",
+    "apply_baseline_drift",
+    "duplicate_arrivals",
+    "inject_dropout",
+    "inject_nan_gaps",
+    "jitter_timestamps",
+    "reorder_arrivals",
+    "Frame",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioEvent",
+    "StarProfile",
+    "build_scenario",
+    "render_star_profiles",
+    "sample_star_profiles",
+    "EventOutcome",
+    "ReplayHarness",
+    "ReplayReport",
+    "score_replay",
+    "ReplayTrace",
+    "TraceMismatch",
+]

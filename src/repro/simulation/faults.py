@@ -1,0 +1,187 @@
+"""Deterministic fault injectors for simulated survey nights.
+
+A real GWAC night is never the clean aligned matrix the serving stack is
+benchmarked on: clouds blank out observations, whole stars drop out of the
+field and rejoin, camera readout jitters the cadence, the transport layer
+duplicates or reorders frames, and slow instrumental drift bends baselines.
+Each injector here applies one of those faults to a scenario under
+construction — **in place**, driven only by the caller's
+:class:`numpy.random.Generator` so a seeded scenario is bit-reproducible —
+and returns :class:`FaultEvent` records for the scenario's bookkeeping.
+
+Frame-level faults (duplication, reordering) operate on the *arrival
+schedule* — the list of exposure indices in delivery order — rather than on
+the exposure values: the same physical exposure may arrive twice or late,
+which is a property of the transport, not of the sky.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FaultEvent",
+    "inject_nan_gaps",
+    "inject_dropout",
+    "apply_baseline_drift",
+    "jitter_timestamps",
+    "duplicate_arrivals",
+    "reorder_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, for ground-truth bookkeeping.
+
+    ``star`` is the flat star index across the fleet, or ``-1`` for faults
+    that affect whole frames (duplication, reordering) rather than one star.
+    ``start``/``end`` are exposure indices (``end`` exclusive); for frame
+    faults ``start`` is the affected exposure and ``end == start + 1``.
+    """
+
+    kind: str
+    star: int
+    start: int
+    end: int
+
+
+def _flat_star(shard: int, variate: int, num_variates: int) -> int:
+    return shard * num_variates + variate
+
+
+def inject_nan_gaps(
+    exposures: np.ndarray,
+    rng: np.random.Generator,
+    fraction: float,
+    burst_length_range: tuple[int, int] = (1, 4),
+) -> list[FaultEvent]:
+    """Blank out short per-star bursts until ``fraction`` of points are NaN.
+
+    Gaps are drawn as (star, start, burst-length) triples — clouds and
+    readout glitches blank a star for a few consecutive exposures, not as
+    i.i.d. single points.  Already-missing points (e.g. an earlier dropout)
+    count toward the target fraction, so injectors compose without
+    overshooting.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    low, high = burst_length_range
+    if low < 1 or high < low:
+        raise ValueError("burst_length_range must satisfy 1 <= low <= high")
+    length, num_shards, num_variates = exposures.shape
+    target = int(round(fraction * exposures.size))
+    events: list[FaultEvent] = []
+    while np.isnan(exposures).sum() < target:
+        shard = int(rng.integers(num_shards))
+        variate = int(rng.integers(num_variates))
+        burst = int(rng.integers(low, high + 1))
+        start = int(rng.integers(0, max(length - burst, 1)))
+        exposures[start : start + burst, shard, variate] = np.nan
+        events.append(
+            FaultEvent(
+                kind="nan_gap",
+                star=_flat_star(shard, variate, num_variates),
+                start=start,
+                end=start + burst,
+            )
+        )
+    return events
+
+
+def inject_dropout(
+    exposures: np.ndarray,
+    rng: np.random.Generator,
+    length_range: tuple[int, int],
+    star: int | None = None,
+) -> FaultEvent:
+    """Drop one star out of the survey for a contiguous stretch, then rejoin.
+
+    Models a star leaving the camera field (tracking drift, a bad column):
+    every observation in the window is missing, and on rejoin the stream
+    resumes mid-night — the serving stack must re-arm without a restart.
+    """
+    length, num_shards, num_variates = exposures.shape
+    low, high = length_range
+    if not 1 <= low <= high < length:
+        raise ValueError("dropout length_range must fit inside the night")
+    if star is None:
+        star = int(rng.integers(num_shards * num_variates))
+    span = int(rng.integers(low, high + 1))
+    start = int(rng.integers(0, length - span))
+    exposures[start : start + span, star // num_variates, star % num_variates] = np.nan
+    return FaultEvent(kind="dropout", star=star, start=start, end=start + span)
+
+
+def apply_baseline_drift(
+    exposures: np.ndarray,
+    rng: np.random.Generator,
+    stars: np.ndarray,
+    amplitude: float,
+) -> list[FaultEvent]:
+    """Bend the chosen stars' baselines by a slow half-sine over the night.
+
+    Instrumental drift (focus breathing, airmass) is smooth and spans hours;
+    a detector serving a fixed calibration must ride it out without paging.
+    Each star draws its own magnitude in ``[amplitude/2, amplitude]`` and a
+    random sign.
+    """
+    length, _, num_variates = exposures.shape
+    ramp = np.sin(np.linspace(0.0, np.pi, length))
+    events: list[FaultEvent] = []
+    for star in np.asarray(stars, dtype=np.int64):
+        strength = float(rng.uniform(amplitude / 2.0, amplitude)) * (
+            1.0 if rng.random() < 0.5 else -1.0
+        )
+        exposures[:, star // num_variates, star % num_variates] += strength * ramp
+        events.append(FaultEvent(kind="drift", star=int(star), start=0, end=length))
+    return events
+
+
+def jitter_timestamps(
+    timestamps: np.ndarray,
+    rng: np.random.Generator,
+    jitter: float,
+    cadence: float,
+) -> np.ndarray:
+    """Perturb a regular cadence by per-exposure uniform jitter.
+
+    ``jitter`` is capped just below half the cadence so the jittered
+    timeline stays strictly increasing — readout never reorders time itself
+    (delivery reordering is :func:`reorder_arrivals`' job).
+    """
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    bound = min(jitter, 0.49 * cadence)
+    return timestamps + rng.uniform(-bound, bound, size=timestamps.shape)
+
+
+def duplicate_arrivals(
+    arrival: list[int], rng: np.random.Generator, count: int
+) -> list[FaultEvent]:
+    """Deliver ``count`` randomly chosen exposures twice (back to back)."""
+    events: list[FaultEvent] = []
+    for _ in range(count):
+        position = int(rng.integers(len(arrival)))
+        seq = arrival[position]
+        arrival.insert(position + 1, seq)
+        events.append(FaultEvent(kind="duplicate", star=-1, start=seq, end=seq + 1))
+    return events
+
+
+def reorder_arrivals(
+    arrival: list[int], rng: np.random.Generator, count: int
+) -> list[FaultEvent]:
+    """Swap ``count`` random adjacent arrival pairs (late frame delivery)."""
+    events: list[FaultEvent] = []
+    if len(arrival) < 2:
+        return events
+    for _ in range(count):
+        position = int(rng.integers(len(arrival) - 1))
+        arrival[position], arrival[position + 1] = arrival[position + 1], arrival[position]
+        events.append(
+            FaultEvent(kind="reorder", star=-1, start=arrival[position + 1], end=arrival[position + 1] + 1)
+        )
+    return events

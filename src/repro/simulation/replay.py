@@ -1,0 +1,234 @@
+"""Tick-by-tick scenario replay through the serving stack, scored end to end.
+
+Numerical-equivalence suites prove the serving stack computes the *same
+numbers* as the batch path; this module proves it does its *job*: fed a
+realistic survey night (missing observations, dropouts, duplicate and
+out-of-order frames), the fleet's fired :class:`~repro.streaming.Alert`\\ s
+must actually cover the injected celestial events.
+
+:class:`ReplayHarness` drives any ``step(rows, timestamp)`` scorer — a
+:class:`~repro.streaming.FleetManager`, or a
+:class:`~repro.streaming.StreamingService`-shaped wrapper exposing the same
+method — over a :class:`~repro.simulation.scenario.Scenario`'s arrival
+schedule, optionally de-duplicating repeated frames (what a real ingest
+gate does), and returns
+
+* a :class:`ReplayReport` with **event-level** precision/recall, the
+  per-event detection-latency distribution and the false-alert budget on
+  quiet stars, and
+* a :class:`~repro.simulation.trace.ReplayTrace` of every tick's scores,
+  thresholds, labels and alerts — the artifact the golden-trace regression
+  pinning diffs against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .scenario import Scenario, ScenarioEvent
+from .trace import ReplayTrace
+
+__all__ = ["ReplayHarness", "ReplayReport", "EventOutcome", "score_replay"]
+
+
+@dataclass
+class EventOutcome:
+    """Ground truth for one injected event vs. the alerts that covered it."""
+
+    event: ScenarioEvent
+    detected: bool
+    latency: int | None            # first qualifying alert seq - event start
+    first_alert_seq: int | None
+
+
+@dataclass
+class ReplayReport:
+    """Event-level scorecard of one replay run."""
+
+    num_events: int
+    num_detected: int
+    recall: float
+    precision: float               # fraction of alerts inside some event window
+    latencies: np.ndarray          # (num_detected,) ticks from onset to alert
+    num_alerts: int
+    false_alerts: int
+    quiet_star_false_alerts: int
+    duplicates_dropped: int
+    outcomes: list[EventOutcome] = field(default_factory=list)
+    recall_by_kind: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean()) if self.latencies.size else float("nan")
+
+    @property
+    def max_latency(self) -> float:
+        return float(self.latencies.max()) if self.latencies.size else float("nan")
+
+    def format(self) -> str:
+        kinds = ", ".join(
+            f"{kind} {hit}/{total}" for kind, (hit, total) in sorted(self.recall_by_kind.items())
+        )
+        return (
+            f"events {self.num_detected}/{self.num_events} detected "
+            f"(recall {self.recall:.2f}, precision {self.precision:.2f}) [{kinds}] "
+            f"latency mean {self.mean_latency:.1f} / max {self.max_latency:.0f} ticks; "
+            f"{self.num_alerts} alerts, {self.false_alerts} false "
+            f"({self.quiet_star_false_alerts} on quiet stars), "
+            f"{self.duplicates_dropped} duplicate frames dropped"
+        )
+
+
+def score_replay(
+    scenario: Scenario,
+    alert_seqs: np.ndarray,
+    alert_stars: np.ndarray,
+    grace: int,
+    duplicates_dropped: int = 0,
+) -> ReplayReport:
+    """Score fired alerts against the scenario's ground-truth intervals.
+
+    An alert covers an event when it is for the event's star and lands in
+    ``[start, end + grace)`` — the grace window absorbs debounce delay and
+    template tails.  Alerts covering no event are false; recall, precision
+    and per-event latency follow the usual event-level definitions.
+    """
+    if grace < 0:
+        raise ValueError("grace must be non-negative")
+    alert_seqs = np.asarray(alert_seqs, dtype=np.int64)
+    alert_stars = np.asarray(alert_stars, dtype=np.int64)
+    covered = np.zeros(alert_seqs.shape, dtype=bool)
+
+    outcomes: list[EventOutcome] = []
+    by_kind: dict[str, list[bool]] = {}
+    latencies: list[int] = []
+    for event in scenario.events:
+        hits = (
+            (alert_stars == event.star)
+            & (alert_seqs >= event.start)
+            & (alert_seqs < event.end + grace)
+        )
+        covered |= hits
+        detected = bool(hits.any())
+        first = int(alert_seqs[hits].min()) if detected else None
+        latency = first - event.start if detected else None
+        if detected:
+            latencies.append(latency)
+        outcomes.append(
+            EventOutcome(event=event, detected=detected, latency=latency, first_alert_seq=first)
+        )
+        by_kind.setdefault(event.kind, []).append(detected)
+
+    quiet = set(int(star) for star in scenario.quiet_stars)
+    false_mask = ~covered
+    num_detected = sum(outcome.detected for outcome in outcomes)
+    num_events = len(scenario.events)
+    num_alerts = int(alert_seqs.size)
+    return ReplayReport(
+        num_events=num_events,
+        num_detected=num_detected,
+        recall=num_detected / num_events if num_events else 1.0,
+        precision=float(covered.mean()) if num_alerts else 1.0,
+        latencies=np.asarray(latencies, dtype=np.int64),
+        num_alerts=num_alerts,
+        false_alerts=int(false_mask.sum()),
+        quiet_star_false_alerts=int(
+            sum(1 for star in alert_stars[false_mask] if int(star) in quiet)
+        ),
+        duplicates_dropped=duplicates_dropped,
+        outcomes=outcomes,
+        recall_by_kind={kind: (sum(flags), len(flags)) for kind, flags in by_kind.items()},
+    )
+
+
+class ReplayHarness:
+    """Drive a fleet scorer through a scenario's arrival schedule and score it.
+
+    Parameters
+    ----------
+    fleet:
+        Anything with ``step(rows, timestamp) -> FleetStepResult`` — normally
+        a :class:`~repro.streaming.FleetManager` serving a detector fitted on
+        ``scenario.train``.
+    scenario:
+        The survey night to replay.
+    dedupe:
+        Drop frames whose exposure index was already processed (the ingest
+        gate of a real pipeline).  Disable to stress the stack with raw
+        duplicate deliveries.
+    grace:
+        Scoring slack in ticks after an event's last in-event exposure
+        within which an alert still counts as detecting it (debounce delay,
+        decaying template tails).
+    """
+
+    def __init__(self, fleet, scenario: Scenario, dedupe: bool = True, grace: int = 12):
+        if not hasattr(fleet, "step"):
+            raise TypeError("fleet must expose step(rows, timestamp)")
+        self.fleet = fleet
+        self.scenario = scenario
+        self.dedupe = dedupe
+        self.grace = grace
+
+    def run(self) -> tuple[ReplayReport, ReplayTrace]:
+        """Replay the whole night; returns the scorecard and the full trace."""
+        scenario = self.scenario
+        shape = (scenario.config.num_shards, scenario.config.num_variates)
+
+        seqs: list[int] = []
+        steps: list[int] = []
+        times: list[float] = []
+        scores: list[np.ndarray] = []
+        thresholds: list[np.ndarray] = []
+        labels: list[np.ndarray] = []
+        alert_rows: list[tuple[int, int, int, float, float]] = []
+        duplicates_dropped = 0
+        seen: set[int] = set()
+
+        for frame in scenario.frames():
+            if self.dedupe and frame.seq in seen:
+                duplicates_dropped += 1
+                continue
+            seen.add(frame.seq)
+            result = self.fleet.step(frame.rows, frame.timestamp)
+            if result.scores.shape != shape:
+                raise ValueError(
+                    f"fleet emits {result.scores.shape} scores, scenario is {shape}"
+                )
+            seqs.append(frame.seq)
+            steps.append(result.step)
+            times.append(frame.timestamp)
+            scores.append(np.asarray(result.scores, dtype=np.float64).copy())
+            per_star = result.thresholds
+            if per_star is None:
+                per_star = np.full(shape, result.threshold)
+            thresholds.append(np.asarray(per_star, dtype=np.float64).copy())
+            labels.append(np.asarray(result.labels, dtype=np.int64).copy())
+            for alert in result.alerts:
+                alert_rows.append(
+                    (frame.seq, result.step, alert.star, alert.score, alert.threshold)
+                )
+
+        trace = ReplayTrace(
+            seqs=np.asarray(seqs, dtype=np.int64),
+            steps=np.asarray(steps, dtype=np.int64),
+            timestamps=np.asarray(times, dtype=np.float64),
+            scores=np.stack(scores) if scores else np.empty((0, *shape)),
+            thresholds=np.stack(thresholds) if thresholds else np.empty((0, *shape)),
+            labels=np.stack(labels) if labels else np.empty((0, *shape), dtype=np.int64),
+            alert_seqs=np.asarray([row[0] for row in alert_rows], dtype=np.int64),
+            alert_steps=np.asarray([row[1] for row in alert_rows], dtype=np.int64),
+            alert_stars=np.asarray([row[2] for row in alert_rows], dtype=np.int64),
+            alert_scores=np.asarray([row[3] for row in alert_rows], dtype=np.float64),
+            alert_thresholds=np.asarray([row[4] for row in alert_rows], dtype=np.float64),
+        )
+        report = score_replay(
+            scenario,
+            trace.alert_seqs,
+            trace.alert_stars,
+            grace=self.grace,
+            duplicates_dropped=duplicates_dropped,
+        )
+        return report, trace

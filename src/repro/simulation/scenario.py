@@ -1,0 +1,436 @@
+"""Seeded survey-night scenario builders with per-star ground truth.
+
+A *scenario* is everything a serving-stack validation run needs, generated
+deterministically from one seed:
+
+* a **training archive** for the reference field (the detector is fitted on
+  it, exactly the train-once / serve-many deployment shape);
+* a **night** of fleet exposures ``(T, num_shards, N)`` — per-shard fresh
+  noise realizations of the *same* per-variate star profiles, so one model
+  legitimately serves every shard;
+* **injected celestial events** (flares, microlensing, eclipses, … from
+  :mod:`repro.data.anomalies`) with exact per-star ground-truth intervals;
+* **injected faults** (NaN gaps, star dropout/rejoin, cadence jitter,
+  baseline drift, duplicated and out-of-order frames) from
+  :mod:`repro.simulation.faults`;
+* the **arrival schedule**: the frame sequence as the serving stack will
+  actually receive it, duplicates and reorderings included.
+
+Determinism contract: ``build_scenario(config)`` consumes a single
+``default_rng(config.seed)`` stream in a fixed order, so the same config is
+bit-identical across runs and machines — the property the golden-trace
+regression pinning in :mod:`repro.simulation.trace` builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.anomalies import ANOMALY_TYPES, render_template
+from ..data.signals import DEFAULT_NOISE_STD, sample_period
+from .faults import (
+    FaultEvent,
+    apply_baseline_drift,
+    duplicate_arrivals,
+    inject_dropout,
+    inject_nan_gaps,
+    jitter_timestamps,
+    reorder_arrivals,
+)
+
+__all__ = [
+    "StarProfile",
+    "ScenarioEvent",
+    "Frame",
+    "ScenarioConfig",
+    "Scenario",
+    "sample_star_profiles",
+    "render_star_profiles",
+    "build_scenario",
+]
+
+
+@dataclass(frozen=True)
+class StarProfile:
+    """Time-invariant description of one star's quiescent behaviour.
+
+    The reference field's variate ``v`` and every shard's variate ``v``
+    share one profile: the fleet serves many fields whose stars behave like
+    the training field's, each with its own noise realization.  Sinusoidal
+    profiles are rendered against *absolute* exposure indices, so the night
+    continues the training archive's phase seamlessly.
+    """
+
+    kind: str                      # "gaussian" | "sinusoidal"
+    amplitude: float = 2.0
+    period: float = 200.0
+    phase: float = 0.0
+    noise_std: float = DEFAULT_NOISE_STD
+    mean: float = 0.0
+
+    @property
+    def spread(self) -> float:
+        """Rough standard deviation of the quiescent signal (for amplitude scaling)."""
+        if self.kind == "sinusoidal":
+            return float(np.hypot(self.amplitude / np.sqrt(2.0), self.noise_std))
+        return self.noise_std
+
+
+def sample_star_profiles(
+    rng: np.random.Generator,
+    num_variates: int,
+    variable_star_fraction: float = 0.5,
+) -> list[StarProfile]:
+    """Draw one profile per variate (the paper's variable/non-variable mix)."""
+    if num_variates < 1:
+        raise ValueError("need at least one variate")
+    if not 0.0 <= variable_star_fraction <= 1.0:
+        raise ValueError("variable_star_fraction must be in [0, 1]")
+    profiles: list[StarProfile] = []
+    for _ in range(num_variates):
+        if rng.random() < variable_star_fraction:
+            profiles.append(
+                StarProfile(
+                    kind="sinusoidal",
+                    period=sample_period(rng),
+                    phase=float(rng.uniform(0.0, 2.0 * np.pi)),
+                )
+            )
+        else:
+            profiles.append(StarProfile(kind="gaussian"))
+    return profiles
+
+
+def render_star_profiles(
+    profiles: list[StarProfile],
+    start: int,
+    length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Render ``(length, N)`` magnitudes for exposures ``start .. start+length``."""
+    if length < 1:
+        raise ValueError("length must be positive")
+    ticks = np.arange(start, start + length, dtype=np.float64)
+    series = np.empty((length, len(profiles)))
+    for variate, profile in enumerate(profiles):
+        noise = rng.normal(0.0, profile.noise_std, size=length)
+        if profile.kind == "sinusoidal":
+            series[:, variate] = (
+                profile.amplitude * np.sin(2.0 * np.pi * ticks / profile.period + profile.phase)
+                + profile.mean
+                + noise
+            )
+        elif profile.kind == "gaussian":
+            series[:, variate] = profile.mean + noise
+        else:
+            raise ValueError(f"unknown star profile kind {profile.kind!r}")
+    return series
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One injected celestial event with its ground-truth interval."""
+
+    star: int          # flat star index: shard * N + variate
+    shard: int
+    variate: int
+    kind: str          # anomaly template name ("flare", "eclipse", ...)
+    start: int         # exposure index, inclusive
+    end: int           # exposure index, exclusive
+    amplitude: float
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One delivered exposure: the true index, its timestamp, the fleet rows."""
+
+    seq: int
+    timestamp: float
+    rows: np.ndarray   # (num_shards, N), possibly containing NaN gaps
+
+
+@dataclass
+class ScenarioConfig:
+    """Knobs of a simulated survey night (all faults individually disableable)."""
+
+    name: str = "survey-night"
+    num_shards: int = 2
+    num_variates: int = 4
+    train_length: int = 600
+    calibration_length: int = 300
+    night_length: int = 300
+    variable_star_fraction: float = 0.5
+    cadence_seconds: float = 15.0
+    # celestial events
+    num_events: int = 6
+    event_kinds: tuple[str, ...] = ("flare", "microlensing", "eclipse")
+    event_length_range: tuple[int, int] = (16, 36)
+    event_amplitude_spreads: tuple[float, float] = (6.0, 10.0)
+    event_amplitude_cap: float = 4.0
+    event_separation: int = 40
+    num_quiet_stars: int = 2
+    # faults
+    nan_fraction: float = 0.05
+    nan_burst_length_range: tuple[int, int] = (1, 4)
+    num_dropouts: int = 1
+    dropout_length_range: tuple[int, int] = (20, 40)
+    cadence_jitter_seconds: float = 2.0
+    num_duplicate_frames: int = 2
+    num_reordered_frames: int = 2
+    num_drift_stars: int = 1
+    drift_amplitude: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1 or self.num_variates < 1:
+            raise ValueError("num_shards and num_variates must be positive")
+        if self.train_length < 50 or self.night_length < 50:
+            raise ValueError("train/night length too short for a meaningful scenario")
+        if self.calibration_length < 0:
+            raise ValueError("calibration_length must be non-negative")
+        if self.num_events < 0:
+            raise ValueError("num_events must be non-negative")
+        unknown = set(self.event_kinds) - set(ANOMALY_TYPES)
+        if unknown:
+            raise ValueError(f"unknown event kinds: {sorted(unknown)}")
+        low, high = self.event_length_range
+        if not 2 <= low <= high < self.night_length:
+            raise ValueError("event_length_range must fit inside the night")
+        num_stars = self.num_shards * self.num_variates
+        if self.num_quiet_stars + self.num_drift_stars >= num_stars and self.num_events > 0:
+            raise ValueError("quiet + drift stars leave no star to host events")
+        if self.num_dropouts > num_stars:
+            raise ValueError("cannot drop out more stars than the fleet serves")
+
+
+@dataclass
+class Scenario:
+    """A fully materialised survey night (see module docstring)."""
+
+    config: ScenarioConfig
+    profiles: list[StarProfile]
+    train: np.ndarray                 # (train_length, N) reference archive
+    train_timestamps: np.ndarray      # (train_length,)
+    calibration: np.ndarray           # (calibration_length, N) quiet held-out stretch
+    calibration_timestamps: np.ndarray
+    exposures: np.ndarray             # (T, num_shards, N), NaN = missing
+    timestamps: np.ndarray            # (T,) jittered cadence
+    events: list[ScenarioEvent]
+    faults: list[FaultEvent] = field(default_factory=list)
+    arrival: list[int] = field(default_factory=list)  # frame seqs in delivery order
+
+    @property
+    def num_stars(self) -> int:
+        return self.config.num_shards * self.config.num_variates
+
+    @property
+    def length(self) -> int:
+        return int(self.exposures.shape[0])
+
+    @property
+    def quiet_stars(self) -> np.ndarray:
+        """Stars with no event, no drift and no dropout (sorted flat indices).
+
+        Quiet stars anchor the false-alert budget: nothing astrophysical or
+        instrumental happened to them beyond short cloud gaps, so any alert
+        they raise is a pure false positive.  Dropout stars are excluded —
+        their rejoin transient is a *re-arm* question, not a quiet-sky one.
+        """
+        noisy = {event.star for event in self.events}
+        noisy.update(
+            fault.star for fault in self.faults if fault.kind in ("drift", "dropout")
+        )
+        return np.asarray(
+            sorted(set(range(self.num_stars)) - noisy), dtype=np.int64
+        )
+
+    def frames(self) -> list[Frame]:
+        """The night as the serving stack receives it, faults included."""
+        return [
+            Frame(seq=seq, timestamp=float(self.timestamps[seq]), rows=self.exposures[seq])
+            for seq in self.arrival
+        ]
+
+    def ground_truth(self) -> np.ndarray:
+        """Boolean ``(T, num_stars)`` mask of in-event points (flat star axis)."""
+        mask = np.zeros((self.length, self.num_stars), dtype=bool)
+        for event in self.events:
+            mask[event.start : event.end, event.star] = True
+        return mask
+
+    def events_for_star(self, star: int) -> list[ScenarioEvent]:
+        return [event for event in self.events if event.star == star]
+
+    def missing_fraction(self) -> float:
+        return float(np.isnan(self.exposures).mean())
+
+    def describe(self) -> str:
+        kinds: dict[str, int] = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        parts = ", ".join(f"{n} {k}" for k, n in sorted(kinds.items()))
+        return (
+            f"{self.config.name}: {self.num_stars} stars "
+            f"({self.config.num_shards} shards x {self.config.num_variates}), "
+            f"{self.length} exposures, events [{parts}], "
+            f"{self.missing_fraction():.1%} missing, "
+            f"{len(self.arrival) - self.length} duplicate frames, "
+            f"{len(self.quiet_stars)} quiet stars"
+        )
+
+
+def _place_events(
+    config: ScenarioConfig,
+    rng: np.random.Generator,
+    exposures: np.ndarray,
+    profiles: list[StarProfile],
+    host_stars: np.ndarray,
+) -> list[ScenarioEvent]:
+    """Inject ``num_events`` templates, cycling through ``event_kinds``.
+
+    Cycling (rather than sampling) guarantees every requested kind appears,
+    so a scenario asking for flare/microlensing/eclipse coverage gets all
+    three even with few events.  Same-star events keep
+    ``config.event_separation`` exposures apart — a reconstruction window's
+    tail and an alert cooldown both blur attribution across closer events —
+    with bounded placement retries that raise if the night is too crowded.
+
+    Amplitudes scale with the host star's quiescent spread (a detectable
+    celestial event stands out from its *own* star's variability) but are
+    capped at ``event_amplitude_cap`` magnitudes: a physically absurd spike
+    saturates the scaler and bleeds through the graph module into every
+    other star of the shard, which stops testing detection and starts
+    testing numerics.
+    """
+    night = exposures.shape[0]
+    num_variates = config.num_variates
+    occupied: dict[int, list[tuple[int, int]]] = {}
+    events: list[ScenarioEvent] = []
+    for index in range(config.num_events):
+        kind = config.event_kinds[index % len(config.event_kinds)]
+        margin = config.event_separation
+        for _ in range(64):
+            star = int(rng.choice(host_stars))
+            length = int(rng.integers(*config.event_length_range))
+            start = int(rng.integers(0, night - length))
+            span = (start - margin, start + length + margin)
+            if all(span[1] <= s or e <= span[0] for s, e in occupied.get(star, [])):
+                break
+        else:
+            raise RuntimeError(
+                "could not place all events without overlap; "
+                "reduce num_events or lengthen the night"
+            )
+        spread = profiles[star % num_variates].spread
+        amplitude = min(
+            float(rng.uniform(*config.event_amplitude_spreads)) * max(spread, 0.25),
+            config.event_amplitude_cap,
+        )
+        template = render_template(kind, length, amplitude)
+        exposures[start : start + length, star // num_variates, star % num_variates] += template
+        occupied.setdefault(star, []).append(span)
+        events.append(
+            ScenarioEvent(
+                star=star,
+                shard=star // num_variates,
+                variate=star % num_variates,
+                kind=kind,
+                start=start,
+                end=start + length,
+                amplitude=amplitude,
+            )
+        )
+    return events
+
+
+def build_scenario(config: ScenarioConfig) -> Scenario:
+    """Materialise a scenario from its config — pure function of ``config.seed``."""
+    rng = np.random.default_rng(config.seed)
+    num_stars = config.num_shards * config.num_variates
+
+    # 1. The star field, its training archive, and a quiet held-out stretch.
+    #    The calibration stretch is a *fresh* realization of the same stars
+    #    with no events or faults: a model partially memorizes its training
+    #    noise, so a POT threshold calibrated on train scores sits too low
+    #    for live data — serving-side thresholds should be calibrated on
+    #    scores the model has never seen (the SPOT deployment shape).
+    profiles = sample_star_profiles(rng, config.num_variates, config.variable_star_fraction)
+    train = render_star_profiles(profiles, 0, config.train_length, rng)
+    calibration = (
+        render_star_profiles(profiles, config.train_length, config.calibration_length, rng)
+        if config.calibration_length
+        else np.empty((0, config.num_variates))
+    )
+    night_start = config.train_length + config.calibration_length
+
+    # 2. Per-shard continuations of the same profiles: fresh noise, same sky.
+    night = np.empty((config.night_length, config.num_shards, config.num_variates))
+    for shard in range(config.num_shards):
+        night[:, shard, :] = render_star_profiles(
+            profiles, night_start, config.night_length, rng
+        )
+
+    # 3. Star roles: quiet stars host nothing, drift stars drift, the rest host events.
+    roles = rng.permutation(num_stars)
+    quiet = roles[: config.num_quiet_stars]
+    drift_stars = roles[config.num_quiet_stars : config.num_quiet_stars + config.num_drift_stars]
+    hosts = roles[config.num_quiet_stars + config.num_drift_stars :]
+    if config.num_events > 0 and hosts.size == 0:
+        raise RuntimeError("no host stars left for events")
+
+    events = _place_events(config, rng, night, profiles, hosts)
+    faults: list[FaultEvent] = []
+    if drift_stars.size:
+        faults += apply_baseline_drift(night, rng, drift_stars, config.drift_amplitude)
+
+    # 4. Missing data: dropouts first (they contribute to the NaN budget),
+    #    then short gap bursts up to the target fraction.  Quiet stars are
+    #    deliberately not protected — a quiet star with gaps must stay quiet.
+    for _ in range(config.num_dropouts):
+        faults.append(inject_dropout(night, rng, config.dropout_length_range))
+    if config.nan_fraction > 0:
+        faults += inject_nan_gaps(
+            night, rng, config.nan_fraction, config.nan_burst_length_range
+        )
+
+    # 5. The exposure timeline: regular cadence continuing the archive, jittered.
+    cadence = config.cadence_seconds
+    train_timestamps = np.arange(config.train_length, dtype=np.float64) * cadence
+    # The calibration stretch must mimic *serving* conditions, cadence
+    # jitter included: the time embedding reacts to jittered exposure times,
+    # so a threshold calibrated on a regular cadence sits measurably too low
+    # for a jittered night.
+    calibration_timestamps = jitter_timestamps(
+        (config.train_length + np.arange(config.calibration_length, dtype=np.float64))
+        * cadence,
+        rng,
+        config.cadence_jitter_seconds,
+        cadence,
+    )
+    base = (night_start + np.arange(config.night_length, dtype=np.float64)) * cadence
+    timestamps = jitter_timestamps(base, rng, config.cadence_jitter_seconds, cadence)
+
+    # 6. The arrival schedule: in-order delivery, then transport faults.
+    arrival = list(range(config.night_length))
+    faults += duplicate_arrivals(arrival, rng, config.num_duplicate_frames)
+    faults += reorder_arrivals(arrival, rng, config.num_reordered_frames)
+
+    return Scenario(
+        config=config,
+        profiles=profiles,
+        train=train,
+        train_timestamps=train_timestamps,
+        calibration=calibration,
+        calibration_timestamps=calibration_timestamps,
+        exposures=night,
+        timestamps=timestamps,
+        events=events,
+        faults=faults,
+        arrival=arrival,
+    )

@@ -1,0 +1,140 @@
+"""Golden-trace record/replay: npz-serialised per-tick serving state.
+
+A replay's full observable behaviour — per-tick scores, per-star
+thresholds, labels and every fired alert — fits in a handful of flat
+arrays.  :class:`ReplayTrace` captures them, round-trips through one
+compressed ``.npz`` artifact, and diffs against another trace.
+
+The workflow is regression *pinning*: commit the trace of a known-good
+replay next to the test suite; every future run regenerates the trace from
+the same seeded scenario and diffs it against the committed golden copy.
+Any behavioural drift — a refactor that changes scores, a threshold update
+that fires different alerts — shows up as a named, tick-indexed mismatch
+instead of a silently shifted metric.  Exact (bit-for-bit) comparison is
+the default and is what in-process determinism tests use; cross-platform CI
+pins pass a small tolerance for the score fields, where BLAS differences
+may legitimately wiggle the last bits, while alerts and labels stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.serialization import load_arrays, save_arrays
+
+__all__ = ["ReplayTrace", "TraceMismatch"]
+
+_EXACT_INT_FIELDS = ("seqs", "steps", "labels", "alert_seqs", "alert_steps", "alert_stars")
+_FLOAT_FIELDS = ("timestamps", "scores", "thresholds", "alert_scores", "alert_thresholds")
+
+
+@dataclass(frozen=True)
+class TraceMismatch:
+    """One field-level difference between two traces."""
+
+    field: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.field}: {self.detail}"
+
+
+@dataclass
+class ReplayTrace:
+    """Per-tick serving state of one replay (see module docstring).
+
+    ``seqs`` are scenario exposure indices in processed order; ``steps`` are
+    the fleet's own step counters (they diverge from ``seqs`` exactly when
+    frames arrived out of order or were de-duplicated — preserving that
+    mapping in the trace is what lets alert ticks be compared across runs).
+    """
+
+    seqs: np.ndarray              # (P,) int64
+    steps: np.ndarray             # (P,) int64
+    timestamps: np.ndarray        # (P,) float64
+    scores: np.ndarray            # (P, S, N) float64, NaN = missing/warm-up
+    thresholds: np.ndarray        # (P, S, N) float64
+    labels: np.ndarray            # (P, S, N) int64
+    alert_seqs: np.ndarray        # (A,) int64
+    alert_steps: np.ndarray       # (A,) int64
+    alert_stars: np.ndarray       # (A,) int64
+    alert_scores: np.ndarray      # (A,) float64
+    alert_thresholds: np.ndarray  # (A,) float64
+
+    @property
+    def num_ticks(self) -> int:
+        return int(self.seqs.size)
+
+    @property
+    def num_alerts(self) -> int:
+        return int(self.alert_seqs.size)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the trace as one compressed npz artifact."""
+        return save_arrays(path, {f.name: getattr(self, f.name) for f in fields(self)})
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReplayTrace":
+        """Load a trace saved by :meth:`save`; validates the key set."""
+        arrays = load_arrays(path)
+        names = {f.name for f in fields(cls)}
+        missing = names - set(arrays)
+        extra = set(arrays) - names
+        if missing or extra:
+            raise ValueError(
+                f"trace {path} has wrong keys: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        return cls(**{name: arrays[name] for name in names})
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+    def diff(
+        self, other: "ReplayTrace", rtol: float = 0.0, atol: float = 0.0, max_report: int = 5
+    ) -> list[TraceMismatch]:
+        """All field-level differences vs. ``other`` (empty list = match).
+
+        Integer fields (alert identities, labels, tick ordering) are always
+        compared exactly; float fields use ``rtol``/``atol`` (defaults:
+        exact, NaNs compare equal so warm-up and gap ticks pin too).
+        """
+        mismatches: list[TraceMismatch] = []
+        for name in (*_EXACT_INT_FIELDS, *_FLOAT_FIELDS):
+            mine = getattr(self, name)
+            theirs = getattr(other, name)
+            if mine.shape != theirs.shape:
+                mismatches.append(
+                    TraceMismatch(name, f"shape {mine.shape} vs {theirs.shape}")
+                )
+                continue
+            if name in _EXACT_INT_FIELDS:
+                equal = mine == theirs
+            else:
+                equal = np.isclose(mine, theirs, rtol=rtol, atol=atol, equal_nan=True)
+            if not equal.all():
+                bad = np.argwhere(~equal)
+                where = ", ".join(str(tuple(int(i) for i in idx)) for idx in bad[:max_report])
+                suffix = "" if len(bad) <= max_report else f" (+{len(bad) - max_report} more)"
+                mismatches.append(
+                    TraceMismatch(name, f"{len(bad)} differing entries at {where}{suffix}")
+                )
+        return mismatches
+
+    def matches(self, other: "ReplayTrace", rtol: float = 0.0, atol: float = 0.0) -> bool:
+        return not self.diff(other, rtol=rtol, atol=atol)
+
+    def assert_matches(
+        self, other: "ReplayTrace", rtol: float = 0.0, atol: float = 0.0
+    ) -> None:
+        """Raise ``AssertionError`` naming every mismatched field."""
+        mismatches = self.diff(other, rtol=rtol, atol=atol)
+        if mismatches:
+            details = "\n  ".join(str(m) for m in mismatches)
+            raise AssertionError(f"replay trace diverges from golden trace:\n  {details}")

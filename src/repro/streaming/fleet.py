@@ -24,6 +24,7 @@ import numpy as np
 from .alerts import Alert, AlertPolicy
 from .online_detector import (
     check_swap_compatible,
+    impute_missing_row,
     rescale_buffer_rows,
     resolve_backend_engine,
     resolve_swap_source,
@@ -90,6 +91,21 @@ class FleetManager:
     pot_max_excesses:
         Optional per-star excess-set bound (sliding calibration for
         multi-night streams; ignored in global mode).
+    rearm_min_gap:
+        Re-arm guard for stars rejoining after a run of missing
+        observations.  A gap of at least this many consecutive missing ticks
+        (a star dropping out of the field, not a one-exposure cloud blip)
+        leaves the star's window dominated by imputed rows; on rejoin its
+        scores stay masked (NaN — no labels, no POT updates, no alert
+        streaks) for as many ticks as the gap lasted, capped at ``W - 1``,
+        until real rows refill the window.  Set ``0`` to disable.
+    threshold:
+        Serving-side override of the frozen global threshold (global mode
+        only).  The detector's default calibration comes from its *training*
+        scores, which the model has partially memorized; production serving
+        recalibrates on scores from a held-out quiet stretch (e.g.
+        ``pot_threshold(detector.score(calibration), q)`` over a
+        :class:`repro.simulation.Scenario`'s calibration split).
     """
 
     def __init__(
@@ -102,6 +118,8 @@ class FleetManager:
         threshold_mode: str = "global",
         pot_refit_interval: int = 32,
         pot_max_excesses: int | None = None,
+        rearm_min_gap: int = 3,
+        threshold: float | None = None,
     ):
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -109,6 +127,11 @@ class FleetManager:
             raise ValueError(
                 f"threshold_mode must be 'global' or 'per_star', got {threshold_mode!r}"
             )
+        if threshold is not None and threshold_mode != "global":
+            # Accepting the override while per-star labels come from the
+            # adaptive POT would silently leave the user's calibration out of
+            # force; restore per-star calibrations via load_threshold_state.
+            raise ValueError("threshold overrides apply to threshold_mode='global' only")
         model = detector._require_fitted()
         if model.noise is not None and model.noise.graph_mode == "dynamic":
             # The dynamic-graph ablation smooths adjacency state sequentially
@@ -122,7 +145,7 @@ class FleetManager:
         self.num_shards = num_shards
         self.num_variates = model.num_variates
         self._scaler = detector.scaler
-        self.threshold = detector.threshold()
+        self.threshold = detector.threshold() if threshold is None else float(threshold)
         self.threshold_mode = threshold_mode
         self.adaptive_pot: VectorizedIncrementalPOT | None = None
         if threshold_mode == "per_star":
@@ -132,6 +155,11 @@ class FleetManager:
                 refit_interval=pot_refit_interval,
                 max_excesses=pot_max_excesses,
             )
+        if rearm_min_gap < 0:
+            raise ValueError("rearm_min_gap must be non-negative")
+        self.rearm_min_gap = rearm_min_gap
+        self._gap_streak = np.zeros((num_shards, model.num_variates), dtype=np.int64)
+        self._suppress = np.zeros((num_shards, model.num_variates), dtype=np.int64)
         self.alert_policy = alert_policy or AlertPolicy()
         self._engine = resolve_backend_engine(detector, backend)
         self.backend = "autograd" if self._engine is None else "compiled"
@@ -195,7 +223,7 @@ class FleetManager:
         self.threshold_mode = "per_star"
 
     # ------------------------------------------------------------------
-    def swap_model(self, source) -> None:
+    def swap_model(self, source, threshold: float | None = None) -> None:
         """Hot-swap the fleet's serving model without dropping buffered state.
 
         ``source`` is a fitted :class:`~repro.core.AeroDetector`, a
@@ -209,8 +237,14 @@ class FleetManager:
         history intact; the shared timeline and alert-policy state carry
         over unchanged.  In ``threshold_mode="per_star"`` the adaptive
         threshold state (excess sets, observation counts, re-fit cadence)
-        also carries across the swap and keeps adapting; only the frozen
-        global ``threshold`` switches to the new model's calibration.
+        also carries across the swap and keeps adapting.
+
+        The frozen global ``threshold`` switches to the new model's
+        train-score calibration — a construction-time serving-side override
+        is deliberately *not* carried over, because it was calibrated
+        against the old model's score scale.  Pass ``threshold=`` here with
+        a value recalibrated on the new model's scores (e.g. over a held-out
+        quiet stretch) to keep serving an override across the swap.
         """
         target = resolve_swap_source(
             source,
@@ -227,7 +261,7 @@ class FleetManager:
         self._scaler = target.scaler
         self._engine = target.engine
         self.backend = "autograd" if self._engine is None else "compiled"
-        self.threshold = target.threshold
+        self.threshold = target.threshold if threshold is None else float(threshold)
         # The staging array of the other backend kind may not exist yet.
         window = self.config.window
         if self._engine is None and not hasattr(self, "_batch_long"):
@@ -241,18 +275,52 @@ class FleetManager:
 
         All shards advance by one sample and the whole fleet is scored with a
         single vectorised model call of batch size ``num_shards``.
+
+        Non-finite entries in ``rows`` mark *missing observations* (cloud
+        gaps, dropped stars, dead pixels).  A missing star's ring-buffer slot
+        is imputed with its last buffered value — one NaN must not poison the
+        next ``W`` windows — but the star's emitted score is NaN for this
+        tick: it is excluded from labelling, from the adaptive POT update and
+        from alert streaks (which :class:`AlertPolicy` neither advances nor
+        resets on NaN).
         """
         rows = np.asarray(rows, dtype=np.float64)
         if rows.shape != (self.num_shards, self.num_variates):
             raise ValueError(
                 f"rows must have shape ({self.num_shards}, {self.num_variates}), got {rows.shape}"
             )
+        missing = ~np.isfinite(rows)
+        any_missing = bool(missing.any())
+        masked = missing
+        if self.rearm_min_gap:
+            # Re-arm guard: a star rejoining after a real dropout keeps its
+            # scores masked while its window is still dominated by imputed
+            # rows, instead of paging the operator with a rejoin transient.
+            rejoined = ~missing & (self._gap_streak >= self.rearm_min_gap)
+            if rejoined.any():
+                # A fresh dropout during an active re-arm must not *shorten*
+                # the remaining suppression — the window may still be
+                # dominated by the earlier gap's imputed rows.
+                self._suppress[rejoined] = np.maximum(
+                    self._suppress[rejoined],
+                    np.minimum(self._gap_streak[rejoined], self.config.window - 1),
+                )
+            self._gap_streak[missing] += 1
+            self._gap_streak[~missing] = 0
+            suppressed = ~missing & (self._suppress > 0)
+            if suppressed.any():
+                self._suppress[suppressed] -= 1
+                masked = missing | suppressed
+        any_masked = bool(masked.any())
         scaled = self._scaler.transform(rows)
         times = self._timeline.resolve(1, None if timestamp is None else [timestamp])
         self._timeline.append(times[0])
 
         window = self.config.window
         short = self.config.short_window
+        if any_missing:
+            for shard in np.flatnonzero(missing.any(axis=1)):
+                impute_missing_row(scaled[shard], missing[shard], self._buffers[shard])
         for shard, buffer in enumerate(self._buffers):
             buffer.append(scaled[shard])
         step_index = self._step
@@ -282,6 +350,13 @@ class FleetManager:
                 self._batch_times[:, window - short :],
                 backend="autograd",
             )
+        if any_masked:
+            # An imputed window still yields a finite model output, but a
+            # star that was not observed this tick — or is re-arming after a
+            # dropout — has no trustworthy score: emit NaN so labels, POT
+            # state and alert streaks all treat it as a gap.
+            scores = scores.copy() if not scores.flags.writeable else scores
+            scores[masked] = np.nan
         if self.adaptive_pot is not None:
             # The SPOT decision uses the thresholds as they stood *before*
             # this observation — snapshot them so results and alerts record

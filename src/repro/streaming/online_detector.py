@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
 __all__ = [
     "StreamingDetector",
     "StreamStepResult",
+    "impute_missing_row",
     "resolve_backend_engine",
     "resolve_swap_source",
 ]
@@ -131,6 +132,22 @@ def resolve_swap_source(source, *, prefer_compiled: bool, dtype=None) -> SwapTar
         num_variates=fitted.num_variates,
         graph_mode=None if fitted.noise is None else fitted.noise.graph_mode,
     )
+
+
+def impute_missing_row(scaled_row: np.ndarray, missing: np.ndarray, buffer) -> None:
+    """Fill a row's missing (non-finite) entries before it enters a ring buffer.
+
+    Missing stars carry their last buffered (scaled) value forward — the
+    standard last-observation-carried-forward imputation — so one survey gap
+    never poisons the next ``W`` windows with NaN.  A cold buffer with no
+    history yet falls back to the scaled-space origin.  The caller remains
+    responsible for masking the star's *score* for this tick; imputation only
+    keeps the model input finite.
+    """
+    if len(buffer):
+        scaled_row[missing] = buffer.view(1)[0][missing]
+    else:
+        scaled_row[missing] = 0.0
 
 
 def rescale_buffer_rows(buffers, old_scaler, new_scaler) -> None:
@@ -332,6 +349,11 @@ class StreamingDetector:
         Rows are appended in order; every row whose window is complete is
         scored in a single ``score_windows`` call, so a micro-batch of ``k``
         rows costs one forward pass of batch size ``<= k``.
+
+        Non-finite entries mark missing observations: the buffered value is
+        imputed by carrying the star's last value forward (one gap must not
+        poison the next ``W`` windows), while the emitted score for that star
+        is NaN on the gap tick and it is skipped by the adaptive POT.
         """
         rows = np.asarray(rows, dtype=np.float64)
         if rows.ndim != 2 or rows.shape[1] != self.num_variates:
@@ -341,6 +363,7 @@ class StreamingDetector:
             return []
         times = self._timeline.resolve(count, timestamps)
         scaled = self._scaler.transform(rows)
+        missing = ~np.isfinite(rows)
 
         window = self.config.window
         short = self.config.short_window
@@ -348,6 +371,8 @@ class StreamingDetector:
         longs = np.empty((count, self.num_variates, window))
         long_times = np.empty((count, window))
         for position in range(count):
+            if missing[position].any():
+                impute_missing_row(scaled[position], missing[position], self._buffer)
             self._buffer.append(scaled[position])
             self._timeline.append(times[position])
             if self._buffer.is_full:
@@ -381,6 +406,9 @@ class StreamingDetector:
             if ready_cursor < batch and ready_rows[ready_cursor] == position:
                 scores = scores_batch[ready_cursor]
                 ready_cursor += 1
+                if missing[position].any():
+                    scores = scores.copy()
+                    scores[missing[position]] = np.nan
                 labels = (scores >= self.threshold).astype(np.int64)
                 adaptive = None
                 if self.adaptive_pot is not None:

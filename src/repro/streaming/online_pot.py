@@ -140,9 +140,17 @@ class IncrementalPOT:
         Scores above the final threshold are treated as anomalies and (as in
         SPOT) *not* added to the tail model; scores between the initial and
         final thresholds enrich the excess set.
+
+        A non-finite score means *no observation* (a masked survey gap, not a
+        measurement): the update is a no-op — the observation count, excess
+        set and threshold are all left untouched — and no alarm is raised.
+        Counting gaps as observations would silently inflate ``n`` and decay
+        the threshold on streams with missing data.
         """
         if self.threshold is None or self.initial_threshold is None:
             raise RuntimeError("IncrementalPOT must be fitted before update")
+        if not np.isfinite(score):
+            return False
         self._num_observations += 1
         if score > self.threshold:
             # The observation count just grew; refresh the closed form before

@@ -222,6 +222,12 @@ class VectorizedIncrementalPOT:
         re-fit; every star's closed-form threshold is refreshed for the
         grown observation count.  Input of any shape is accepted and the
         alarms are returned in the same shape.
+
+        A non-finite score marks a star with *no observation* this tick (a
+        masked survey gap); that star's state — observation count, excess
+        set, re-fit cadence and threshold — is left exactly as it was and no
+        alarm is raised, matching the scalar class's no-op on NaN.  The other
+        stars advance normally.
         """
         if self.thresholds is None or self.initial_thresholds is None:
             raise RuntimeError("VectorizedIncrementalPOT must be fitted before update")
@@ -230,9 +236,10 @@ class VectorizedIncrementalPOT:
         if flat.size != self.num_stars:
             raise ValueError(f"expected one score per star ({self.num_stars}), got {flat.size}")
 
-        self._num_observations += 1
-        alarms = flat > self.thresholds
-        enrich = ~alarms & (flat > self.initial_thresholds)
+        observed = np.isfinite(flat)
+        self._num_observations += observed
+        alarms = observed & (flat > self.thresholds)
+        enrich = observed & ~alarms & (flat > self.initial_thresholds)
         if enrich.any():
             stars = np.flatnonzero(enrich)
             self._push_excesses(stars, flat[stars] - self.initial_thresholds[stars])

@@ -1,0 +1,59 @@
+"""Shared fixtures for the scenario-replay validation suite.
+
+One survey night (seed 7) and one trained detector are shared by every
+test in this package: training is the expensive part, and sharing it keeps
+the whole suite inside the CI quick lane.  Everything downstream of the
+fixture is deterministic — the scenario is a pure function of its seed and
+the detector a pure function of its config and training data — which is
+exactly what lets the golden-trace test pin the replay output.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AeroConfig, AeroDetector
+from repro.evaluation import pot_threshold
+from repro.simulation import ScenarioConfig, build_scenario
+from repro.streaming import AlertPolicy, FleetManager
+
+GOLDEN_SEED = 7
+GOLDEN_POT_Q = 5e-3
+
+#: The golden scenario: 8 stars over 2 shards, all three headline event
+#: kinds, >=5% NaN gaps, one dropout/rejoin, jitter, duplicates, reordering.
+GOLDEN_SCENARIO = ScenarioConfig(seed=GOLDEN_SEED)
+
+FIXTURE_DETECTOR = AeroConfig.fast(window=32, short_window=8).scaled(
+    max_epochs_stage1=16, max_epochs_stage2=8, learning_rate=5e-3,
+    d_model=24, num_heads=2, train_stride=2, batch_size=16,
+)
+
+
+@pytest.fixture(scope="session")
+def night():
+    """``(scenario, detector, threshold)`` for the golden survey night."""
+    scenario = build_scenario(GOLDEN_SCENARIO)
+    detector = AeroDetector(FIXTURE_DETECTOR)
+    detector.fit(scenario.train, scenario.train_timestamps)
+    calibration_scores = detector.score(
+        scenario.calibration, scenario.calibration_timestamps
+    )
+    threshold = pot_threshold(calibration_scores, q=GOLDEN_POT_Q)
+    assert np.isfinite(threshold)
+    return scenario, detector, threshold
+
+
+def _make_fleet(detector, scenario, threshold) -> FleetManager:
+    """A freshly initialised fleet with the golden serving policy."""
+    return FleetManager(
+        detector,
+        num_shards=scenario.config.num_shards,
+        alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
+        threshold=threshold,
+    )
+
+
+@pytest.fixture(scope="session")
+def make_fleet():
+    """Factory fixture: fresh fleets with the golden serving policy."""
+    return _make_fleet

@@ -1,0 +1,197 @@
+"""Unit tests for scenario generation and fault injection (no training)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    ScenarioConfig,
+    build_scenario,
+    duplicate_arrivals,
+    inject_dropout,
+    inject_nan_gaps,
+    jitter_timestamps,
+    render_star_profiles,
+    reorder_arrivals,
+    sample_star_profiles,
+)
+from repro.simulation.scenario import StarProfile
+
+
+class TestDeterminism:
+    def test_same_seed_is_bit_identical(self):
+        a = build_scenario(ScenarioConfig(seed=123))
+        b = build_scenario(ScenarioConfig(seed=123))
+        np.testing.assert_array_equal(a.train, b.train)
+        np.testing.assert_array_equal(a.calibration, b.calibration)
+        np.testing.assert_array_equal(a.exposures, b.exposures)
+        np.testing.assert_array_equal(a.timestamps, b.timestamps)
+        assert a.arrival == b.arrival
+        assert a.events == b.events
+        assert a.faults == b.faults
+
+    def test_different_seeds_differ(self):
+        a = build_scenario(ScenarioConfig(seed=1))
+        b = build_scenario(ScenarioConfig(seed=2))
+        finite = ~(np.isnan(a.exposures) | np.isnan(b.exposures))
+        assert not np.array_equal(a.exposures[finite], b.exposures[finite])
+
+
+class TestScenarioContents:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return build_scenario(ScenarioConfig(seed=7))
+
+    def test_headline_requirements(self, scenario):
+        """The acceptance-criteria scenario shape: stars, kinds, gaps, dropout."""
+        assert scenario.num_stars >= 8
+        kinds = {event.kind for event in scenario.events}
+        assert {"flare", "microlensing", "eclipse"} <= kinds
+        assert scenario.missing_fraction() >= 0.05
+        assert sum(1 for f in scenario.faults if f.kind == "dropout") == 1
+
+    def test_shapes_and_splits(self, scenario):
+        config = scenario.config
+        assert scenario.train.shape == (config.train_length, config.num_variates)
+        assert scenario.calibration.shape == (config.calibration_length, config.num_variates)
+        assert scenario.exposures.shape == (
+            config.night_length, config.num_shards, config.num_variates
+        )
+        # The calibration stretch is quiet: fully observed, no events on it.
+        assert np.isfinite(scenario.calibration).all()
+        assert np.isfinite(scenario.train).all()
+        # Timeline splits do not overlap and stay ordered.
+        assert scenario.train_timestamps[-1] < scenario.calibration_timestamps[0]
+        assert scenario.calibration_timestamps[-1] < scenario.timestamps[0]
+
+    def test_ground_truth_matches_events(self, scenario):
+        mask = scenario.ground_truth()
+        assert mask.shape == (scenario.length, scenario.num_stars)
+        rebuilt = np.zeros_like(mask)
+        for event in scenario.events:
+            assert 0 <= event.start < event.end <= scenario.length
+            assert event.star == event.shard * scenario.config.num_variates + event.variate
+            rebuilt[event.start : event.end, event.star] = True
+        np.testing.assert_array_equal(mask, rebuilt)
+
+    def test_quiet_stars_host_nothing(self, scenario):
+        quiet = set(scenario.quiet_stars.tolist())
+        assert quiet, "scenario must keep some quiet stars for the false-alert budget"
+        assert quiet.isdisjoint(event.star for event in scenario.events)
+        assert quiet.isdisjoint(
+            fault.star for fault in scenario.faults if fault.kind in ("drift", "dropout")
+        )
+
+    def test_same_star_events_keep_separation(self, scenario):
+        margin = scenario.config.event_separation
+        by_star = {}
+        for event in scenario.events:
+            by_star.setdefault(event.star, []).append((event.start, event.end))
+        for spans in by_star.values():
+            spans.sort()
+            for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+                assert next_start - prev_end >= margin
+
+    def test_arrival_schedule_faults(self, scenario):
+        config = scenario.config
+        assert len(scenario.arrival) == config.night_length + config.num_duplicate_frames
+        assert set(scenario.arrival) == set(range(config.night_length))
+        frames = scenario.frames()
+        assert [frame.seq for frame in frames] == scenario.arrival
+        # Reordered delivery: the arrival order is not sorted.
+        assert scenario.arrival != sorted(scenario.arrival)
+
+    def test_describe_mentions_the_essentials(self, scenario):
+        text = scenario.describe()
+        assert "8 stars" in text and "flare" in text and "missing" in text
+
+
+class TestProfiles:
+    def test_rendering_is_phase_continuous(self):
+        profile = StarProfile(kind="sinusoidal", period=120.0, phase=0.3, noise_std=0.0)
+        rng = np.random.default_rng(0)
+        whole = render_star_profiles([profile], 0, 200, rng)
+        first = render_star_profiles([profile], 0, 120, rng)
+        rest = render_star_profiles([profile], 120, 80, rng)
+        np.testing.assert_allclose(np.vstack([first, rest]), whole)
+
+    def test_sample_respects_fraction_extremes(self):
+        rng = np.random.default_rng(0)
+        all_variable = sample_star_profiles(rng, 16, variable_star_fraction=1.0)
+        none_variable = sample_star_profiles(rng, 16, variable_star_fraction=0.0)
+        assert all(p.kind == "sinusoidal" for p in all_variable)
+        assert all(p.kind == "gaussian" for p in none_variable)
+
+    def test_unknown_profile_kind_rejected(self):
+        with pytest.raises(ValueError):
+            render_star_profiles(
+                [StarProfile(kind="pulsar")], 0, 10, np.random.default_rng(0)
+            )
+
+
+class TestFaultInjectors:
+    def test_nan_gaps_reach_target_fraction(self):
+        rng = np.random.default_rng(3)
+        exposures = np.zeros((200, 2, 4))
+        events = inject_nan_gaps(exposures, rng, fraction=0.07)
+        assert np.isnan(exposures).mean() >= 0.07
+        assert all(event.kind == "nan_gap" for event in events)
+        for event in events:
+            shard, variate = divmod(event.star, 4)
+            assert np.isnan(exposures[event.start : event.end, shard, variate]).all()
+
+    def test_dropout_blanks_one_star_contiguously(self):
+        rng = np.random.default_rng(4)
+        exposures = np.zeros((200, 2, 4))
+        event = inject_dropout(exposures, rng, (30, 50))
+        shard, variate = divmod(event.star, 4)
+        assert 30 <= event.end - event.start <= 50
+        assert np.isnan(exposures[event.start : event.end, shard, variate]).all()
+        before = exposures[: event.start, shard, variate]
+        after = exposures[event.end :, shard, variate]
+        assert np.isfinite(before).all() and np.isfinite(after).all()
+
+    def test_jitter_keeps_time_strictly_increasing(self):
+        rng = np.random.default_rng(5)
+        base = np.arange(500, dtype=np.float64) * 15.0
+        jittered = jitter_timestamps(base, rng, jitter=7.0, cadence=15.0)
+        assert (np.diff(jittered) > 0).all()
+        assert np.abs(jittered - base).max() <= 7.0
+
+    def test_duplicates_and_reorders(self):
+        rng = np.random.default_rng(6)
+        arrival = list(range(50))
+        dup_events = duplicate_arrivals(arrival, rng, 3)
+        assert len(arrival) == 53 and len(dup_events) == 3
+        for event in dup_events:
+            assert arrival.count(event.start) >= 2
+        before = list(arrival)
+        reorder_arrivals(arrival, rng, 2)
+        assert sorted(arrival) == sorted(before)
+        assert arrival != before
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            inject_nan_gaps(np.zeros((10, 1, 1)), rng, fraction=1.5)
+        with pytest.raises(ValueError):
+            inject_dropout(np.zeros((10, 1, 1)), rng, (20, 30))
+        with pytest.raises(ValueError):
+            jitter_timestamps(np.zeros(3), rng, jitter=-1.0, cadence=15.0)
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_event_kind(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(event_kinds=("flare", "kilonova"))
+
+    def test_rejects_overcrowded_roles(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(num_shards=1, num_variates=2, num_quiet_stars=2, num_drift_stars=0)
+
+    def test_rejects_event_longer_than_night(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(night_length=60, event_length_range=(16, 80))
+
+    def test_rejects_short_night(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(night_length=10)
