@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Record streaming serving benchmarks into ``BENCH_streaming.json``.
+
+Measures, on the seeded golden survey night (``ScenarioConfig(seed=7)``):
+
+* **fleet tick throughput** — stars/second of a plain ``FleetManager.run``
+  over the night's raw exposures, with p50/p99 per-tick latency from the
+  fleet's health snapshot;
+* **fault-replay overhead** — wall-clock cost of driving the same night
+  through :class:`repro.simulation.ReplayHarness` (dedupe gate, trace
+  collection, event scoring) relative to the plain tick loop.
+
+The JSON is committed next to this script as a longitudinal record: re-run
+after a serving-path change and diff the numbers.  CI uploads the freshly
+recorded file as an artifact on every run (numbers vary with runner
+hardware; the committed copy is the local reference).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench.py [-o BENCH_streaming.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np  # noqa: E402
+
+from repro import __version__  # noqa: E402
+from repro.core import AeroConfig, AeroDetector  # noqa: E402
+from repro.evaluation import pot_threshold  # noqa: E402
+from repro.simulation import ReplayHarness, ScenarioConfig, build_scenario  # noqa: E402
+from repro.streaming import AlertPolicy, FleetManager  # noqa: E402
+
+SEED = 7
+POT_Q = 5e-3
+
+DETECTOR_CONFIG = AeroConfig.fast(window=32, short_window=8).scaled(
+    max_epochs_stage1=8, max_epochs_stage2=4, learning_rate=5e-3,
+    d_model=24, num_heads=2, train_stride=2, batch_size=16,
+)
+
+
+def _build_fleet(detector, scenario, threshold) -> FleetManager:
+    return FleetManager(
+        detector,
+        num_shards=scenario.config.num_shards,
+        alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
+        threshold=threshold,
+    )
+
+
+def record() -> dict:
+    scenario = build_scenario(ScenarioConfig(seed=SEED))
+    detector = AeroDetector(DETECTOR_CONFIG)
+
+    started = time.perf_counter()
+    detector.fit(scenario.train, scenario.train_timestamps)
+    fit_seconds = time.perf_counter() - started
+    threshold = pot_threshold(
+        detector.score(scenario.calibration, scenario.calibration_timestamps), q=POT_Q
+    )
+
+    # --- plain fleet ticks: the raw serving loop, faults included ---------
+    fleet = _build_fleet(detector, scenario, threshold)
+    started = time.perf_counter()
+    fleet.run(scenario.exposures, scenario.timestamps)
+    plain_seconds = time.perf_counter() - started
+    health = fleet.health()
+    ticks = health.steps_ingested
+
+    # --- fault replay: same night through the validation harness ---------
+    harness = ReplayHarness(_build_fleet(detector, scenario, threshold), scenario)
+    started = time.perf_counter()
+    report, _trace = harness.run()
+    replay_seconds = time.perf_counter() - started
+    replay_frames = len(scenario.arrival) - report.duplicates_dropped
+
+    return {
+        "schema": "bench-streaming/v1",
+        "recorded_unix": time.time(),
+        "repro_version": __version__,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "scenario": {
+            "seed": SEED,
+            "num_shards": scenario.config.num_shards,
+            "num_stars": scenario.num_stars,
+            "night_length": scenario.config.night_length,
+            "missing_fraction": round(scenario.missing_fraction(), 4),
+        },
+        "fit_seconds": round(fit_seconds, 3),
+        "fleet": {
+            "ticks": ticks,
+            "seconds": round(plain_seconds, 4),
+            "ticks_per_second": round(ticks / plain_seconds, 2),
+            "stars_per_second": round(ticks * health.num_stars / plain_seconds, 1),
+            "p50_step_ms": round(health.p50_step_ms, 3),
+            "p99_step_ms": round(health.p99_step_ms, 3),
+        },
+        "replay": {
+            "frames": replay_frames,
+            "seconds": round(replay_seconds, 4),
+            "seconds_per_frame": round(replay_seconds / replay_frames, 6),
+            "overhead_vs_plain": round(replay_seconds / plain_seconds, 3),
+            "recall": round(report.recall, 3),
+            "precision": round(report.precision, 3),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output",
+        default=str(Path(__file__).resolve().parent / "BENCH_streaming.json"),
+        help="where to write the JSON record (default: benchmarks/BENCH_streaming.json)",
+    )
+    args = parser.parse_args(argv)
+    record_dict = record()
+    path = Path(args.output)
+    path.write_text(json.dumps(record_dict, indent=2) + "\n")
+    fleet, replay = record_dict["fleet"], record_dict["replay"]
+    print(f"wrote {path}")
+    print(
+        f"fleet: {fleet['stars_per_second']:,.0f} stars/s "
+        f"(p50 {fleet['p50_step_ms']:.2f} ms, p99 {fleet['p99_step_ms']:.2f} ms); "
+        f"replay overhead {replay['overhead_vs_plain']:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

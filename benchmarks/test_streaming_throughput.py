@@ -9,6 +9,7 @@ same mid-night serving scenario and enforces the acceptance criterion that
 streaming is at least 10x faster per step than naive re-scoring.
 """
 
+import functools
 import time
 
 import numpy as np
@@ -17,11 +18,18 @@ from conftest import run_once
 
 from repro.core import AeroConfig, AeroDetector
 from repro.data import load_synthetic
+from repro.obs import MetricsRegistry, Tracer
 from repro.streaming import AlertPolicy, FleetManager, StreamingService
 
 HISTORY = 120          # test rows already observed when timing starts
 STEPS = 40             # arriving timestamps to serve
 NUM_SHARDS = 8
+
+
+@functools.lru_cache(maxsize=1)
+def _fitted():
+    """Train the benchmark detector once per session (both tests share it)."""
+    return _fit_detector()
 
 
 def _fit_detector():
@@ -37,7 +45,7 @@ def _fit_detector():
 
 
 def _run_serving_comparison():
-    detector, dataset = _fit_detector()
+    detector, dataset = _fitted()
     test = dataset.test
     assert test.shape[0] >= HISTORY + STEPS
 
@@ -107,3 +115,60 @@ def test_streaming_throughput(benchmark, profile):
     # The fleet serves NUM_SHARDS x more stars; per-step cost must grow far
     # more slowly than the shard count (vectorisation pays off).
     assert result["fleet_stars_per_sec"] > result["stream_stars_per_sec"]
+
+
+# ---------------------------------------------------------------------------
+# telemetry overhead
+# ---------------------------------------------------------------------------
+TELEMETRY_REPS = 3
+TELEMETRY_OVERHEAD_CAP = 1.05   # instrumented <= 5% over uninstrumented
+
+
+def _run_telemetry_overhead():
+    """Paired per-tick timing of an instrumented vs uninstrumented fleet.
+
+    Whole-run timings of this model are far noisier than the 5% bound being
+    asserted (the forward pass alone varies ~20% run to run), so the two
+    paths are stepped in lockstep — per tick, back to back — and each tick
+    keeps its best latency over the repetitions.  Jitter (thermal, GC,
+    interrupts) then hits both paths equally instead of landing on whichever
+    run it happened to overlap.
+    """
+    detector, dataset = _fitted()
+    rows = [
+        np.broadcast_to(row, (NUM_SHARDS, len(row)))
+        for row in dataset.test[HISTORY : HISTORY + STEPS]
+    ]
+    plain_ticks = np.full((TELEMETRY_REPS, STEPS), np.inf)
+    instr_ticks = np.full((TELEMETRY_REPS, STEPS), np.inf)
+    for rep in range(TELEMETRY_REPS):
+        plain = FleetManager(detector, num_shards=NUM_SHARDS, alert_policy=AlertPolicy())
+        instrumented = FleetManager(
+            detector, num_shards=NUM_SHARDS, alert_policy=AlertPolicy(),
+            registry=MetricsRegistry(), tracer=Tracer(),
+        )
+        for tick, row in enumerate(rows):
+            started = time.perf_counter()
+            plain.step(row)
+            plain_ticks[rep, tick] = time.perf_counter() - started
+            started = time.perf_counter()
+            instrumented.step(row)
+            instr_ticks[rep, tick] = time.perf_counter() - started
+    return {
+        "plain": float(plain_ticks.min(axis=0).sum()),
+        "instrumented": float(instr_ticks.min(axis=0).sum()),
+    }
+
+
+def test_telemetry_overhead(benchmark, profile):
+    """Full telemetry (metrics + tracing) costs <= 5% of fleet throughput."""
+    result = run_once(benchmark, _run_telemetry_overhead)
+    overhead = result["instrumented"] / result["plain"]
+    print(
+        f"\nplain {1e3 * result['plain'] / STEPS:.3f} ms/tick, "
+        f"instrumented {1e3 * result['instrumented'] / STEPS:.3f} ms/tick "
+        f"({overhead:.3f}x)"
+    )
+    assert overhead <= TELEMETRY_OVERHEAD_CAP, (
+        f"telemetry overhead {overhead:.3f}x exceeds {TELEMETRY_OVERHEAD_CAP}x"
+    )

@@ -13,7 +13,10 @@ Astronomical Observations" (ICDE 2024).  The package layers:
 * :mod:`repro.training` — resumable sessions, parallel fleet training and
   the model registry feeding the serving fleet;
 * :mod:`repro.simulation` — seeded survey-night scenarios, fault injection,
-  replay validation and golden-trace regression pinning.
+  replay validation and golden-trace regression pinning;
+* :mod:`repro.obs` — fleet telemetry: metrics, tick tracing, Prometheus /
+  JSONL export and health snapshots (off by default, zero-cost until
+  :func:`repro.obs.enable_telemetry`).
 """
 
 from .core import AeroConfig, AeroDetector, AeroModel, build_variant
@@ -40,8 +43,17 @@ from .simulation import (
     ScenarioConfig,
     build_scenario,
 )
+from .obs import (
+    FleetHealth,
+    MetricsRegistry,
+    ServiceHealth,
+    Tracer,
+    disable_telemetry,
+    enable_telemetry,
+    render_prometheus,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AeroConfig",
@@ -70,5 +82,12 @@ __all__ = [
     "Scenario",
     "ScenarioConfig",
     "build_scenario",
+    "FleetHealth",
+    "MetricsRegistry",
+    "ServiceHealth",
+    "Tracer",
+    "disable_telemetry",
+    "enable_telemetry",
+    "render_prometheus",
     "__version__",
 ]

@@ -1,0 +1,107 @@
+"""Fleet telemetry: metrics, tick tracing, exporters and health snapshots.
+
+The observability layer the rest of the serving/training stack reports
+into.  Everything defaults to **off**: the default
+:class:`~repro.obs.metrics.MetricsRegistry` and default
+:class:`~repro.obs.tracing.Tracer` are no-op singletons until
+:func:`enable_telemetry` installs real ones, and the no-op path costs a
+handful of do-nothing method calls (zero allocations) per tick.  Telemetry
+never perturbs results — scores, thresholds and alerts are bit-identical
+with telemetry on or off.
+
+* :mod:`~repro.obs.metrics` — labelled counters/gauges/histograms plus
+  array-native per-shard/per-star vector metrics (O(1) array ops per tick
+  for a whole fleet);
+* :mod:`~repro.obs.tracing` — nested span timing of the tick pipeline
+  (ingest → forward → thresholds → alerts) and the training loop, kept in
+  a bounded in-memory ring;
+* :mod:`~repro.obs.export` — Prometheus text exposition, JSONL snapshot
+  dumps and the periodic flusher the streaming service drives;
+* :mod:`~repro.obs.health` — the health-snapshot dataclasses behind
+  ``FleetManager.health()`` / ``StreamingService.health()``.
+
+Typical session::
+
+    from repro.obs import enable_telemetry, get_tracer, render_prometheus
+
+    registry = enable_telemetry()     # before building the fleet
+    fleet = FleetManager(detector, num_shards=8)
+    ...serve...
+    print(render_prometheus(registry))
+    print(fleet.health().format())
+    print(get_tracer().summary()["fleet.step"].mean_ms)
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    NullRegistry,
+    VectorCounter,
+    VectorGauge,
+    disable_telemetry,
+    enable_telemetry,
+    get_registry,
+    set_default_registry,
+    use_registry,
+)
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    SpanStats,
+    Tracer,
+    get_tracer,
+    set_default_tracer,
+    trace,
+    use_tracer,
+)
+from .export import (
+    MetricsFlusher,
+    parse_prometheus,
+    read_jsonl_snapshots,
+    render_prometheus,
+    snapshot,
+    write_jsonl_snapshot,
+)
+from .health import FleetHealth, ServiceHealth, latency_percentiles
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRegistry",
+    "VectorCounter",
+    "VectorGauge",
+    "disable_telemetry",
+    "enable_telemetry",
+    "get_registry",
+    "set_default_registry",
+    "use_registry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "SpanStats",
+    "Tracer",
+    "get_tracer",
+    "set_default_tracer",
+    "trace",
+    "use_tracer",
+    "MetricsFlusher",
+    "parse_prometheus",
+    "read_jsonl_snapshots",
+    "render_prometheus",
+    "snapshot",
+    "write_jsonl_snapshot",
+    "FleetHealth",
+    "ServiceHealth",
+    "latency_percentiles",
+]

@@ -1,0 +1,287 @@
+"""Metric exporters: Prometheus text exposition and JSONL snapshots.
+
+Two complementary formats:
+
+* :func:`render_prometheus` — the text exposition format a Prometheus
+  scrape endpoint serves (``# HELP`` / ``# TYPE`` headers, labelled
+  samples, cumulative ``_bucket``/``_sum``/``_count`` histogram series).
+  :func:`parse_prometheus` parses it back into a flat sample dict, which
+  is how the round-trip tests (and quick operator scripts) read it.
+* :func:`snapshot` / :func:`write_jsonl_snapshot` — one JSON object per
+  flush with every counter, gauge and histogram, appended to a ``.jsonl``
+  file.  Two snapshots of the same registry diff line-by-line, the offline
+  complement to a live scrape.
+
+:class:`MetricsFlusher` hooks periodic JSONL flushing into a serving loop
+(:meth:`repro.streaming.StreamingService.drain` calls ``tick()`` once per
+drained step).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    VectorCounter,
+    VectorGauge,
+)
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus",
+    "snapshot",
+    "write_jsonl_snapshot",
+    "read_jsonl_snapshots",
+    "MetricsFlusher",
+]
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in zip(names, values))
+    return "{" + inner + "}"
+
+
+def _histogram_lines(name: str, histogram: Histogram, label_prefix: str = "") -> list[str]:
+    lines = []
+    cumulative = 0
+    counts = histogram.counts
+    for upper, bucket in zip(histogram.uppers, counts[:-1]):
+        cumulative += int(bucket)
+        le = _format_value(float(upper))
+        sep = "," if label_prefix else ""
+        prefix = label_prefix[:-1] + sep if label_prefix else "{"
+        lines.append(f'{name}_bucket{prefix}le="{le}"}} {cumulative}')
+    cumulative += int(counts[-1])
+    prefix = label_prefix[:-1] + ("," if label_prefix else "") if label_prefix else "{"
+    lines.append(f'{name}_bucket{prefix}le="+Inf"}} {cumulative}')
+    lines.append(f"{name}_sum{label_prefix} {_format_value(histogram.sum)}")
+    lines.append(f"{name}_count{label_prefix} {histogram.count}")
+    return lines
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every registered metric in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        name = metric.name
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if isinstance(metric, MetricFamily):
+            for values, child in sorted(metric.children.items()):
+                labels = _format_labels(metric.label_names, values)
+                if isinstance(child, Histogram):
+                    lines.extend(_histogram_lines(name, child, labels))
+                else:
+                    lines.append(f"{name}{labels} {_format_value(child.value)}")
+        elif isinstance(metric, (VectorCounter, VectorGauge)):
+            for index, value in enumerate(metric.values):
+                labels = _format_labels((metric.label,), (str(index),))
+                lines.append(f"{name}{labels} {_format_value(float(value))}")
+        elif isinstance(metric, Histogram):
+            lines.extend(_histogram_lines(name, metric))
+        else:
+            lines.append(f"{name} {_format_value(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_PATTERN = re.compile(
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_PATTERN = re.compile(r'(?P<name>[A-Za-z_][A-Za-z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse text exposition back into ``{(name, sorted_labels): value}``.
+
+    The inverse of :func:`render_prometheus` for round-trip testing and
+    quick scrape consumers; histogram series appear under their expanded
+    ``_bucket``/``_sum``/``_count`` names.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_PATTERN.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels = tuple(
+            sorted(
+                (m.group("name"), m.group("value"))
+                for m in _LABEL_PATTERN.finditer(match.group("labels") or "")
+            )
+        )
+        raw = match.group("value")
+        value = {"+Inf": np.inf, "-Inf": -np.inf, "NaN": np.nan}.get(raw)
+        samples[(match.group("name"), labels)] = float(raw) if value is None else value
+    return samples
+
+
+# ---------------------------------------------------------------------------
+# JSONL snapshots
+# ---------------------------------------------------------------------------
+def snapshot(registry: MetricsRegistry) -> dict:
+    """One JSON-serialisable snapshot of every instrument's current state."""
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+
+    def scalar_key(name: str, label_names, label_values) -> str:
+        if not label_names:
+            return name
+        inner = ",".join(f"{n}={v}" for n, v in zip(label_names, label_values))
+        return f"{name}{{{inner}}}"
+
+    for metric in registry.collect():
+        if isinstance(metric, MetricFamily):
+            for values, child in sorted(metric.children.items()):
+                key = scalar_key(metric.name, metric.label_names, values)
+                if isinstance(child, Histogram):
+                    histograms[key] = _histogram_dict(child)
+                elif metric.kind == "counter":
+                    counters[key] = child.value
+                else:
+                    gauges[key] = child.value
+        elif isinstance(metric, VectorCounter):
+            counters.update(
+                {
+                    scalar_key(metric.name, (metric.label,), (str(i),)): float(v)
+                    for i, v in enumerate(metric.values)
+                }
+            )
+        elif isinstance(metric, VectorGauge):
+            gauges.update(
+                {
+                    scalar_key(metric.name, (metric.label,), (str(i),)): float(v)
+                    for i, v in enumerate(metric.values)
+                }
+            )
+        elif isinstance(metric, Histogram):
+            histograms[metric.name] = _histogram_dict(metric)
+        elif isinstance(metric, Counter):
+            counters[metric.name] = metric.value
+        elif isinstance(metric, Gauge):
+            gauges[metric.name] = metric.value
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+def _histogram_dict(histogram: Histogram) -> dict:
+    return {
+        "buckets": [float(u) for u in histogram.uppers],
+        "counts": [int(c) for c in histogram.counts],
+        "sum": histogram.sum,
+        "count": histogram.count,
+        "p50": histogram.quantile(0.50),
+        "p99": histogram.quantile(0.99),
+    }
+
+
+def write_jsonl_snapshot(
+    registry: MetricsRegistry, path: str | Path, timestamp: float | None = None
+) -> Path:
+    """Append one snapshot line to ``path`` (created, with parents, if needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {"time": time.time() if timestamp is None else float(timestamp)}
+    record.update(snapshot(registry))
+    with path.open("a") as handle:
+        handle.write(json.dumps(_sanitize(record), allow_nan=False) + "\n")
+    return path
+
+
+def _sanitize(value):
+    """Non-finite floats (empty-histogram quantiles) serialise as null."""
+    if isinstance(value, dict):
+        return {key: _sanitize(inner) for key, inner in value.items()}
+    if isinstance(value, list):
+        return [_sanitize(inner) for inner in value]
+    if isinstance(value, float) and not np.isfinite(value):
+        return None
+    return value
+
+
+def read_jsonl_snapshots(path: str | Path) -> list[dict]:
+    """All snapshot records of a JSONL file, oldest first."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class MetricsFlusher:
+    """Periodically append registry snapshots to a JSONL file.
+
+    ``tick(steps)`` is called from a serving loop (one call per drained
+    step, or batched); a snapshot is written every ``every_steps`` ticks
+    and/or every ``every_seconds`` of wall clock, whichever fires first.
+    ``flush()`` forces one out (e.g. at shutdown).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str | Path,
+        every_steps: int | None = 256,
+        every_seconds: float | None = None,
+    ):
+        if every_steps is None and every_seconds is None:
+            raise ValueError("give every_steps and/or every_seconds")
+        if every_steps is not None and every_steps < 1:
+            raise ValueError("every_steps must be positive")
+        if every_seconds is not None and every_seconds <= 0:
+            raise ValueError("every_seconds must be positive")
+        self.registry = registry
+        self.path = Path(path)
+        self.every_steps = every_steps
+        self.every_seconds = every_seconds
+        self.flushes = 0
+        self._steps_since = 0
+        self._last_flush = time.monotonic()
+
+    def tick(self, steps: int = 1) -> bool:
+        """Account ``steps`` loop iterations; flush if a period elapsed."""
+        self._steps_since += steps
+        due = (
+            self.every_steps is not None and self._steps_since >= self.every_steps
+        ) or (
+            self.every_seconds is not None
+            and time.monotonic() - self._last_flush >= self.every_seconds
+        )
+        if due:
+            self.flush()
+        return due
+
+    def flush(self) -> Path:
+        path = write_jsonl_snapshot(self.registry, self.path)
+        self.flushes += 1
+        self._steps_since = 0
+        self._last_flush = time.monotonic()
+        return path

@@ -1,0 +1,135 @@
+"""Health snapshots: the introspection surface a router or operator polls.
+
+:meth:`repro.streaming.FleetManager.health` and
+:meth:`repro.streaming.StreamingService.health` return the dataclasses
+below — queue depth, drop counts, per-shard NaN/gap rates, POT re-fit
+counts, re-arm masks in force, the serving model version and p50/p99 step
+latency — aggregated from the front-ends' *always-on* cheap internal
+accounting, so health works with telemetry disabled.  This is the surface
+the ROADMAP's sharded ingest router (item 1) and continual-learning loop
+(item 3) poll to decide rebalances and canary promotions.
+
+The snapshots are plain data: ``to_dict()`` for JSON endpoints,
+``format()`` for one-line operator output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+__all__ = ["FleetHealth", "ServiceHealth", "latency_percentiles"]
+
+
+def latency_percentiles(latencies) -> tuple[float, float]:
+    """``(p50, p99)`` in milliseconds from a recent-latency buffer (seconds).
+
+    One sample is no distribution: it is reported verbatim for both
+    percentiles (matching ``StreamingService.stats``); an empty buffer
+    yields NaN.
+    """
+    values = np.asarray(latencies, dtype=np.float64)
+    if values.size == 0:
+        return float("nan"), float("nan")
+    if values.size == 1:
+        verbatim = float(values[0]) * 1e3
+        return verbatim, verbatim
+    return (
+        float(np.percentile(values, 50)) * 1e3,
+        float(np.percentile(values, 99)) * 1e3,
+    )
+
+
+@dataclass
+class FleetHealth:
+    """One fleet's live serving state (see module docstring)."""
+
+    steps_ingested: int
+    num_shards: int
+    num_stars: int
+    backend: str
+    threshold_mode: str
+    model_version: str | None           # ModelRegistry label, if deployed from one
+    warmed_up: bool
+    alerts_fired: int
+    threshold_refits: int
+    rearm_suppressed_stars: int         # re-arm masks currently in force
+    dropouts: int                       # stars that crossed the dropout gap so far
+    rejoins: int
+    missing_rate: float                 # fleet-wide fraction of missing observations
+    shard_gap_rates: list[float] = field(default_factory=list)  # per shard
+    p50_step_ms: float = float("nan")
+    p99_step_ms: float = float("nan")
+
+    @property
+    def healthy(self) -> bool:
+        """Serving and not drowning in gaps (no shard majority-missing)."""
+        rates = self.shard_gap_rates or [0.0]
+        return self.warmed_up and max(rates) < 0.5
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["healthy"] = self.healthy
+        return data
+
+    def format(self) -> str:
+        gaps = ", ".join(f"{rate:.3f}" for rate in self.shard_gap_rates)
+        version = self.model_version or "unversioned"
+        return (
+            f"fleet[{version}] steps={self.steps_ingested} "
+            f"stars={self.num_stars}/{self.num_shards} shards backend={self.backend} "
+            f"mode={self.threshold_mode} alerts={self.alerts_fired} "
+            f"refits={self.threshold_refits} rearming={self.rearm_suppressed_stars} "
+            f"dropouts={self.dropouts}/{self.rejoins} gap_rates=[{gaps}] "
+            f"latency p50={self.p50_step_ms:.2f}ms p99={self.p99_step_ms:.2f}ms "
+            f"{'healthy' if self.healthy else 'DEGRADED'}"
+        )
+
+    __str__ = format
+
+
+@dataclass
+class ServiceHealth:
+    """One ingestion service's live state, with its fleet's health nested."""
+
+    processed_steps: int
+    queue_depth: int
+    max_queue: int
+    max_queue_depth: int
+    under_pressure: bool
+    dropped_total: int
+    dropped_queue_full: int             # rejected at submit: bounded queue full
+    dropped_shed: int                   # explicitly shed stale queued exposures
+    alerts_fired: int
+    p50_step_ms: float = float("nan")
+    p99_step_ms: float = float("nan")
+    fleet: FleetHealth | None = None
+
+    @property
+    def healthy(self) -> bool:
+        nested = self.fleet.healthy if self.fleet is not None else True
+        return nested and not self.under_pressure
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["healthy"] = self.healthy
+        if self.fleet is not None:
+            data["fleet"] = self.fleet.to_dict()
+        return data
+
+    def format(self) -> str:
+        lines = [
+            f"service steps={self.processed_steps} "
+            f"queue={self.queue_depth}/{self.max_queue} (max {self.max_queue_depth}) "
+            f"dropped={self.dropped_total} "
+            f"(queue_full={self.dropped_queue_full} shed={self.dropped_shed}) "
+            f"alerts={self.alerts_fired} "
+            f"latency p50={self.p50_step_ms:.2f}ms p99={self.p99_step_ms:.2f}ms "
+            f"{'healthy' if self.healthy else 'DEGRADED'}"
+        ]
+        if self.fleet is not None:
+            lines.append("  " + self.fleet.format())
+        return "\n".join(lines)
+
+    __str__ = format

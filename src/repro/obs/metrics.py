@@ -1,0 +1,578 @@
+"""Process-local metrics: labelled counters, gauges and latency histograms.
+
+The serving and training layers record what they do through a
+:class:`MetricsRegistry`; exporters (:mod:`repro.obs.export`) render the
+registry as Prometheus text exposition or JSONL snapshots.  Two design
+rules keep telemetry out of the hot path's way:
+
+* **array-native fleet metrics** — a fleet of ``K`` stars (or shards) does
+  not touch ``K`` labelled children per tick; it updates one
+  :class:`VectorCounter` / :class:`VectorGauge` whose backing store is a
+  ``(K,)`` numpy array, so a 1k-star fleet pays O(1) array ops per tick;
+* **a null registry** — :data:`NULL_REGISTRY` hands out singleton no-op
+  instruments with fixed (non-varargs) signatures, so telemetry-off costs a
+  handful of no-op method calls and **zero allocations** per tick.  The
+  default registry *is* the null registry until :func:`enable_telemetry`
+  (or :func:`set_default_registry`) installs a real one.
+
+Instruments are resolved by name idempotently: asking a registry twice for
+``fleet_ticks_total`` returns the same object, so independent components
+(two fleets, a fleet and a replay harness) share process-level totals the
+way Prometheus clients do.  The registry is process-local and assumes the
+GIL-serialised access of this repository's single-process serving stack;
+increments are not atomic across free-threaded writers.
+
+Telemetry must never perturb results: instruments only ever *read* the
+values handed to them — scores, thresholds and alerts are bit-identical
+with telemetry on or off (asserted in ``tests/obs``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "VectorCounter",
+    "VectorGauge",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "LATENCY_BUCKETS",
+    "get_registry",
+    "set_default_registry",
+    "enable_telemetry",
+    "disable_telemetry",
+    "use_registry",
+]
+
+#: Default latency histogram upper bounds, in seconds (an +Inf overflow
+#: bucket is always appended implicitly).
+LATENCY_BUCKETS = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+    5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _check_name(name: str) -> str:
+    if not name or not name.replace("_", "a").replace(":", "a").isalnum() or name[0].isdigit():
+        raise ValueError(
+            f"invalid metric name {name!r}: use letters, digits, '_' (Prometheus-safe)"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing scalar (e.g. ticks served, frames dropped)."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "label_values", "_value")
+
+    def __init__(self, name: str, help: str = "", label_values: tuple = ()):
+        self.name = name
+        self.help = help
+        self.label_values = label_values
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for decrements")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
+class Gauge:
+    """A scalar that can go up and down (e.g. queue depth, stars re-arming)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "label_values", "_value")
+
+    def __init__(self, name: str, help: str = "", label_values: tuple = ()):
+        self.name = name
+        self.help = help
+        self.label_values = label_values
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with Prometheus ``le`` (<=) bucket semantics.
+
+    ``buckets`` are the finite upper bounds, sorted ascending; an implicit
+    ``+Inf`` overflow bucket catches everything above the last bound.  Per
+    observation the invariant ``counts.sum() == count`` holds (the
+    hypothesis property test in ``tests/obs`` pins it), and
+    :meth:`observe_many` ingests a whole latency array with two numpy calls.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "label_values", "uppers", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = LATENCY_BUCKETS,
+        label_values: tuple = (),
+    ):
+        uppers = np.asarray(buckets, dtype=np.float64)
+        if uppers.size == 0:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if not np.all(np.isfinite(uppers)):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        if np.any(np.diff(uppers) <= 0):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.label_values = label_values
+        self.uppers = uppers
+        self._counts = np.zeros(uppers.size + 1, dtype=np.int64)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        self._counts[int(np.searchsorted(self.uppers, value, side="left"))] += 1
+        self._sum += value
+        self._count += 1
+
+    def observe_many(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        np.add.at(self._counts, np.searchsorted(self.uppers, values, side="left"), 1)
+        self._sum += float(values.sum())
+        self._count += int(values.size)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-bucket (non-cumulative) counts; the last entry is ``+Inf``."""
+        return self._counts.copy()
+
+    @property
+    def cumulative_counts(self) -> np.ndarray:
+        return np.cumsum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (NaN with no observations).
+
+        Within a finite bucket the mass is assumed uniform; a quantile that
+        lands in the overflow bucket is clamped to the last finite bound —
+        the usual Prometheus ``histogram_quantile`` convention.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self._count == 0:
+            return float("nan")
+        target = q * self._count
+        cumulative = np.cumsum(self._counts)
+        bucket = int(np.searchsorted(cumulative, target, side="left"))
+        if bucket >= self.uppers.size:
+            return float(self.uppers[-1])
+        lower = 0.0 if bucket == 0 else float(self.uppers[bucket - 1])
+        upper = float(self.uppers[bucket])
+        below = 0 if bucket == 0 else int(cumulative[bucket - 1])
+        inside = int(self._counts[bucket])
+        if inside == 0:
+            return upper
+        return lower + (upper - lower) * (target - below) / inside
+
+    def reset(self) -> None:
+        self._counts[:] = 0
+        self._sum = 0.0
+        self._count = 0
+
+
+class MetricFamily:
+    """A labelled metric: one child instrument per distinct label-value set.
+
+    Children are created on first :meth:`labels` call and cached; the
+    cardinality cap turns an unbounded label space (a bug: labelling by
+    user id, timestamp, ...) into a loud error instead of a memory leak.
+    """
+
+    __slots__ = ("name", "help", "kind", "label_names", "max_cardinality", "_children", "_factory")
+
+    def __init__(self, name, help, kind, label_names, factory, max_cardinality=1024):
+        if not label_names:
+            raise ValueError("a metric family needs at least one label name")
+        self.name = name
+        self.help = help
+        self.kind = kind
+        self.label_names = tuple(label_names)
+        self.max_cardinality = max_cardinality
+        self._children: dict[tuple, object] = {}
+        self._factory = factory
+
+    def labels(self, **label_values):
+        if set(label_values) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        key = tuple(str(label_values[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_cardinality:
+                raise ValueError(
+                    f"metric {self.name!r} exceeded its label cardinality cap "
+                    f"({self.max_cardinality}); labels must come from a bounded set"
+                )
+            child = self._factory(self.name, self.help, key)
+            self._children[key] = child
+        return child
+
+    @property
+    def children(self) -> dict[tuple, object]:
+        return dict(self._children)
+
+    def reset(self) -> None:
+        for child in self._children.values():
+            child.reset()
+
+
+class _VectorMetric:
+    """Shared machinery of index-labelled array-backed metrics."""
+
+    __slots__ = ("name", "help", "label", "values")
+
+    def __init__(self, name: str, help: str, size: int, label: str):
+        if size < 1:
+            raise ValueError("vector metrics need a positive size")
+        self.name = name
+        self.help = help
+        self.label = label
+        self.values = np.zeros(size, dtype=np.float64)
+
+    @property
+    def size(self) -> int:
+        return int(self.values.size)
+
+    def _grow(self, size: int) -> None:
+        if size > self.values.size:
+            grown = np.zeros(size, dtype=np.float64)
+            grown[: self.values.size] = self.values
+            self.values = grown
+
+    def _check(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != self.values.shape:
+            raise ValueError(
+                f"vector metric {self.name!r} covers {self.values.size} indices, "
+                f"got an update of shape {values.shape}"
+            )
+        return values
+
+    def reset(self) -> None:
+        self.values[:] = 0.0
+
+
+class VectorCounter(_VectorMetric):
+    """Per-index counters in one array: a fleet's per-shard/per-star totals.
+
+    ``add(values)`` is the per-tick hot path — one vectorised ``+=`` over
+    the whole fleet.  Exported as one labelled sample per index
+    (``name{label="i"}``).
+    """
+
+    kind = "counter"
+    __slots__ = ()
+
+    def add(self, values: np.ndarray) -> None:
+        self.values += self._check(values)
+
+    def inc_at(self, index: int, amount: float = 1.0) -> None:
+        self.values[index] += amount
+
+    @property
+    def total(self) -> float:
+        return float(self.values.sum())
+
+
+class VectorGauge(_VectorMetric):
+    """Per-index gauges in one array (e.g. each shard's live NaN rate)."""
+
+    kind = "gauge"
+    __slots__ = ()
+
+    def set(self, values: np.ndarray) -> None:
+        self.values[:] = self._check(values)
+
+    def set_at(self, index: int, value: float) -> None:
+        self.values[index] = float(value)
+
+
+class MetricsRegistry:
+    """Process-local instrument store, resolved idempotently by name."""
+
+    #: Real registries record; the null registry overrides this to False so
+    #: hot paths can skip computing update *arguments* entirely.
+    enabled = True
+
+    def __init__(self, max_label_cardinality: int = 1024):
+        self._metrics: dict[str, object] = {}
+        self.max_label_cardinality = max_label_cardinality
+
+    # -- factories ------------------------------------------------------
+    def _resolve(self, name, kind, build):
+        existing = self._metrics.get(_check_name(name))
+        if existing is not None:
+            if existing.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} is already registered as a {existing.kind}, "
+                    f"cannot re-register as a {kind}"
+                )
+            return existing
+        metric = build()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", labels: tuple[str, ...] = ()):
+        if labels:
+            return self._resolve(
+                name, "counter",
+                lambda: MetricFamily(name, help, "counter", labels, Counter,
+                                     self.max_label_cardinality),
+            )
+        return self._resolve(name, "counter", lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "", labels: tuple[str, ...] = ()):
+        if labels:
+            return self._resolve(
+                name, "gauge",
+                lambda: MetricFamily(name, help, "gauge", labels, Gauge,
+                                     self.max_label_cardinality),
+            )
+        return self._resolve(name, "gauge", lambda: Gauge(name, help))
+
+    def histogram(self, name: str, help: str = "", buckets: tuple[float, ...] = LATENCY_BUCKETS):
+        return self._resolve(name, "histogram", lambda: Histogram(name, help, buckets))
+
+    def counter_vector(self, name: str, size: int, help: str = "", label: str = "star"):
+        metric = self._resolve(name, "counter", lambda: VectorCounter(name, help, size, label))
+        if not isinstance(metric, VectorCounter):
+            raise ValueError(f"metric {name!r} is already registered as a scalar counter")
+        metric._grow(size)
+        return metric
+
+    def gauge_vector(self, name: str, size: int, help: str = "", label: str = "star"):
+        metric = self._resolve(name, "gauge", lambda: VectorGauge(name, help, size, label))
+        if not isinstance(metric, VectorGauge):
+            raise ValueError(f"metric {name!r} is already registered as a scalar gauge")
+        metric._grow(size)
+        return metric
+
+    # -- introspection --------------------------------------------------
+    def collect(self) -> list:
+        """Every registered metric (families included), sorted by name."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def reset(self) -> None:
+        """Zero every instrument (the instruments themselves survive)."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+
+# ---------------------------------------------------------------------------
+# the no-op fast path
+# ---------------------------------------------------------------------------
+class _NullCounter:
+    kind = "counter"
+    name = help = ""
+    label_values = ()
+    value = 0.0
+    total = 0.0
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def add(self, values) -> None:
+        pass
+
+    def inc_at(self, index: int, amount: float = 1.0) -> None:
+        pass
+
+    def labels(self, **label_values):
+        return self
+
+    def reset(self) -> None:
+        pass
+
+
+class _NullGauge:
+    kind = "gauge"
+    name = help = ""
+    label_values = ()
+    value = 0.0
+    __slots__ = ()
+
+    def set(self, value) -> None:
+        pass
+
+    def set_at(self, index: int, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def labels(self, **label_values):
+        return self
+
+    def reset(self) -> None:
+        pass
+
+
+class _NullHistogram:
+    kind = "histogram"
+    name = help = ""
+    label_values = ()
+    sum = 0.0
+    count = 0
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return math.nan
+
+    def reset(self) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """Hands out no-op singleton instruments; telemetry off costs nothing.
+
+    Every factory returns the same shared null instrument, whose methods
+    take fixed (non-varargs) signatures and allocate nothing — pinned by the
+    zero-allocation test in ``tests/obs``.  ``enabled`` is ``False`` so
+    instrumented code can skip computing update arguments altogether.
+    """
+
+    enabled = False
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram()
+
+    def __init__(self):
+        super().__init__()
+
+    def counter(self, name: str, help: str = "", labels: tuple[str, ...] = ()):
+        return self._COUNTER
+
+    def gauge(self, name: str, help: str = "", labels: tuple[str, ...] = ()):
+        return self._GAUGE
+
+    def histogram(self, name: str, help: str = "", buckets: tuple[float, ...] = LATENCY_BUCKETS):
+        return self._HISTOGRAM
+
+    def counter_vector(self, name: str, size: int, help: str = "", label: str = "star"):
+        return self._COUNTER
+
+    def gauge_vector(self, name: str, size: int, help: str = "", label: str = "star"):
+        return self._GAUGE
+
+    def collect(self) -> list:
+        return []
+
+
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (the null registry until enabled)."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` as the default; ``None`` restores the null registry.
+
+    Components capture the default at *construction* time, so enable
+    telemetry before building the fleet/service/session you want observed.
+    """
+    global _default_registry
+    _default_registry = NULL_REGISTRY if registry is None else registry
+    return _default_registry
+
+
+def enable_telemetry(max_label_cardinality: int = 1024) -> MetricsRegistry:
+    """Install (and return) a fresh real default registry.
+
+    Also installs a real default tracer — one switch turns the whole
+    telemetry layer on.  :func:`disable_telemetry` restores the no-op
+    defaults.
+    """
+    from . import tracing
+
+    tracing.set_default_tracer(tracing.Tracer())
+    return set_default_registry(MetricsRegistry(max_label_cardinality))
+
+
+def disable_telemetry() -> None:
+    """Restore the no-op default registry and tracer."""
+    from . import tracing
+
+    tracing.set_default_tracer(None)
+    set_default_registry(None)
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry | None):
+    """Temporarily swap the default registry (tests, scoped collection)."""
+    previous = _default_registry
+    set_default_registry(registry)
+    try:
+        yield _default_registry
+    finally:
+        set_default_registry(previous)

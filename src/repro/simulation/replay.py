@@ -23,14 +23,19 @@ gate does), and returns
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.tracing import trace as trace_span
 from .scenario import Scenario, ScenarioEvent
 from .trace import ReplayTrace
 
 __all__ = ["ReplayHarness", "ReplayReport", "EventOutcome", "score_replay"]
+
+logger = logging.getLogger("repro.simulation.replay")
 
 
 @dataclass
@@ -174,6 +179,14 @@ class ReplayHarness:
 
     def run(self) -> tuple[ReplayReport, ReplayTrace]:
         """Replay the whole night; returns the scorecard and the full trace."""
+        # Resolved per run: a replay is one bounded pass, not a hot loop.
+        metrics = get_registry()
+        m_frames = metrics.counter(
+            "replay_frames_total", "Scenario frames fed through replay harnesses"
+        )
+        m_duplicates = metrics.counter(
+            "replay_duplicates_dropped_total", "Duplicate frames dropped by the ingest gate"
+        )
         scenario = self.scenario
         shape = (scenario.config.num_shards, scenario.config.num_variates)
 
@@ -190,9 +203,12 @@ class ReplayHarness:
         for frame in scenario.frames():
             if self.dedupe and frame.seq in seen:
                 duplicates_dropped += 1
+                m_duplicates.inc()
                 continue
             seen.add(frame.seq)
-            result = self.fleet.step(frame.rows, frame.timestamp)
+            m_frames.inc()
+            with trace_span("replay.frame"):
+                result = self.fleet.step(frame.rows, frame.timestamp)
             if result.scores.shape != shape:
                 raise ValueError(
                     f"fleet emits {result.scores.shape} scores, scenario is {shape}"
@@ -224,6 +240,11 @@ class ReplayHarness:
             alert_scores=np.asarray([row[3] for row in alert_rows], dtype=np.float64),
             alert_thresholds=np.asarray([row[4] for row in alert_rows], dtype=np.float64),
         )
+        if duplicates_dropped:
+            logger.warning(
+                "replay_duplicates scenario_seed=%s dropped=%d",
+                getattr(scenario.config, "seed", None), duplicates_dropped,
+            )
         report = score_replay(
             scenario,
             trace.alert_seqs,

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+
 __all__ = ["Alert", "AlertPolicy"]
 
 
@@ -48,6 +50,9 @@ class AlertPolicy:
         self._streak: np.ndarray | None = None
         self._muted_until: np.ndarray | None = None
         self.alerts_fired = 0
+        self._m_fired = get_registry().counter(
+            "alerts_fired_total", "Debounced alerts fired across all policies"
+        )
 
     def _ensure_state(self, num_stars: int) -> None:
         if self._streak is None:
@@ -112,6 +117,8 @@ class AlertPolicy:
         self._muted_until[fired] = step + self.cooldown
         self._streak[fired] = 0
         self.alerts_fired += len(fired)
+        if fired.size:
+            self._m_fired.inc(len(fired))
         return [
             Alert(
                 star=int(star),

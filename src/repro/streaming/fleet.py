@@ -16,11 +16,17 @@ buffer; all shards share the exposure timeline.
 
 from __future__ import annotations
 
+import logging
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.health import FleetHealth, latency_percentiles
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
 from .alerts import Alert, AlertPolicy
 from .online_detector import (
     check_swap_compatible,
@@ -36,6 +42,12 @@ if TYPE_CHECKING:  # pragma: no cover - import only for type checkers
     from ..core.detector import AeroDetector
 
 __all__ = ["FleetManager", "FleetStepResult"]
+
+logger = logging.getLogger("repro.streaming.fleet")
+
+#: Recent step latencies retained for health() percentiles (always on; a
+#: deque append per tick is noise next to the model forward).
+_LATENCY_RING = 1024
 
 
 @dataclass
@@ -106,6 +118,12 @@ class FleetManager:
         recalibrates on scores from a held-out quiet stretch (e.g.
         ``pot_threshold(detector.score(calibration), q)`` over a
         :class:`repro.simulation.Scenario`'s calibration split).
+    registry, tracer:
+        Telemetry sinks (see :mod:`repro.obs`); ``None`` captures the
+        process defaults at construction, which are no-ops until
+        :func:`repro.obs.enable_telemetry` runs.  Telemetry never perturbs
+        scores, thresholds or alerts, and :meth:`health` works (from the
+        always-on cheap internal accounting) either way.
     """
 
     def __init__(
@@ -120,6 +138,8 @@ class FleetManager:
         pot_max_excesses: int | None = None,
         rearm_min_gap: int = 3,
         threshold: float | None = None,
+        registry=None,
+        tracer=None,
     ):
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -180,6 +200,53 @@ class FleetManager:
         else:
             self._batch_stack = np.empty((num_shards, window, self.num_variates))
         self._batch_times = np.empty((num_shards, window))
+
+        # Always-on cheap accounting backing health() — one small array op
+        # and a deque append per tick, independent of the telemetry switch.
+        self.model_version: str | None = None
+        self._missing_total = np.zeros(num_shards, dtype=np.int64)
+        self._dropouts = 0
+        self._rejoins = 0
+        self._latencies: deque = deque(maxlen=_LATENCY_RING)
+        self._tracer = get_tracer() if tracer is None else tracer
+        self._registry = get_registry() if registry is None else registry
+        self._telemetry = bool(self._registry.enabled)
+        self._m_ticks = self._registry.counter(
+            "fleet_ticks_total", "Exposure ticks ingested across all fleets"
+        )
+        self._m_step_seconds = self._registry.histogram(
+            "fleet_step_seconds", "Wall-clock latency of one fleet tick"
+        )
+        self._m_missing = self._registry.counter_vector(
+            "fleet_missing_observations_total",
+            num_shards,
+            "Missing (non-finite) observations per shard",
+            label="shard",
+        )
+        self._m_masked = self._registry.counter_vector(
+            "fleet_masked_scores_total",
+            num_shards,
+            "Scores masked per shard (missing observations plus re-arm guards)",
+            label="shard",
+        )
+        self._m_gap_rate = self._registry.gauge_vector(
+            "fleet_shard_gap_rate",
+            num_shards,
+            "Cumulative fraction of missing observations per shard",
+            label="shard",
+        )
+        self._m_rearming = self._registry.gauge(
+            "fleet_rearming_stars", "Stars whose scores are currently re-arm masked"
+        )
+        self._m_dropouts = self._registry.counter(
+            "fleet_star_dropouts_total", "Stars that crossed the dropout gap"
+        )
+        self._m_rejoins = self._registry.counter(
+            "fleet_star_rejoins_total", "Dropped-out stars that rejoined the stream"
+        )
+        self._m_swaps = self._registry.counter(
+            "fleet_hot_swaps_total", "Serving models hot-swapped into running fleets"
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -268,6 +335,47 @@ class FleetManager:
             self._batch_long = np.empty((self.num_shards, self.num_variates, window))
         if self._engine is not None and not hasattr(self, "_batch_stack"):
             self._batch_stack = np.empty((self.num_shards, window, self.num_variates))
+        # A raw-source swap leaves the registry-version label unknown;
+        # ModelRegistry.deploy re-stamps it after calling us.
+        self.model_version = None
+        self._m_swaps.inc()
+        logger.warning(
+            "hot_swap step=%d backend=%s threshold=%.6g", self._step, self.backend, self.threshold
+        )
+
+    # ------------------------------------------------------------------
+    def health(self) -> FleetHealth:
+        """Live serving-state snapshot (works with telemetry off).
+
+        Aggregates the fleet's always-on internal accounting — steps, gap
+        rates, dropout/rejoin counts, re-arm masks in force, adaptive POT
+        re-fit counts, alert totals and recent step-latency percentiles —
+        into a :class:`repro.obs.FleetHealth`.
+        """
+        observed = self._step * self.num_variates
+        gap_rates = (
+            (self._missing_total / observed) if observed else np.zeros(self.num_shards)
+        )
+        missing_rate = float(self._missing_total.sum()) / (observed * self.num_shards) if observed else 0.0
+        p50, p99 = latency_percentiles(self._latencies)
+        return FleetHealth(
+            steps_ingested=self._step,
+            num_shards=self.num_shards,
+            num_stars=self.num_stars,
+            backend=self.backend,
+            threshold_mode=self.threshold_mode,
+            model_version=self.model_version,
+            warmed_up=bool(self._buffers[0].is_full),
+            alerts_fired=self.alert_policy.alerts_fired,
+            threshold_refits=self.threshold_refits,
+            rearm_suppressed_stars=int(np.count_nonzero(self._suppress > 0)),
+            dropouts=self._dropouts,
+            rejoins=self._rejoins,
+            missing_rate=missing_rate,
+            shard_gap_rates=[float(rate) for rate in gap_rates],
+            p50_step_ms=p50,
+            p99_step_ms=p99,
+        )
 
     # ------------------------------------------------------------------
     def step(self, rows: np.ndarray, timestamp: float | None = None) -> FleetStepResult:
@@ -284,47 +392,79 @@ class FleetManager:
         from alert streaks (which :class:`AlertPolicy` neither advances nor
         resets on NaN).
         """
+        started = time.perf_counter()
+        with self._tracer.span("fleet.step"):
+            result = self._step_inner(rows, timestamp)
+        elapsed = time.perf_counter() - started
+        self._latencies.append(elapsed)
+        self._m_ticks.inc()
+        self._m_step_seconds.observe(elapsed)
+        return result
+
+    def _step_inner(self, rows: np.ndarray, timestamp: float | None) -> FleetStepResult:
         rows = np.asarray(rows, dtype=np.float64)
         if rows.shape != (self.num_shards, self.num_variates):
             raise ValueError(
                 f"rows must have shape ({self.num_shards}, {self.num_variates}), got {rows.shape}"
             )
-        missing = ~np.isfinite(rows)
-        any_missing = bool(missing.any())
-        masked = missing
-        if self.rearm_min_gap:
-            # Re-arm guard: a star rejoining after a real dropout keeps its
-            # scores masked while its window is still dominated by imputed
-            # rows, instead of paging the operator with a rejoin transient.
-            rejoined = ~missing & (self._gap_streak >= self.rearm_min_gap)
-            if rejoined.any():
-                # A fresh dropout during an active re-arm must not *shorten*
-                # the remaining suppression — the window may still be
-                # dominated by the earlier gap's imputed rows.
-                self._suppress[rejoined] = np.maximum(
-                    self._suppress[rejoined],
-                    np.minimum(self._gap_streak[rejoined], self.config.window - 1),
-                )
-            self._gap_streak[missing] += 1
-            self._gap_streak[~missing] = 0
-            suppressed = ~missing & (self._suppress > 0)
-            if suppressed.any():
-                self._suppress[suppressed] -= 1
-                masked = missing | suppressed
-        any_masked = bool(masked.any())
-        scaled = self._scaler.transform(rows)
-        times = self._timeline.resolve(1, None if timestamp is None else [timestamp])
-        self._timeline.append(times[0])
+        with self._tracer.span("fleet.ingest"):
+            missing = ~np.isfinite(rows)
+            any_missing = bool(missing.any())
+            masked = missing
+            if self.rearm_min_gap:
+                # Re-arm guard: a star rejoining after a real dropout keeps its
+                # scores masked while its window is still dominated by imputed
+                # rows, instead of paging the operator with a rejoin transient.
+                rejoined = ~missing & (self._gap_streak >= self.rearm_min_gap)
+                if rejoined.any():
+                    # A fresh dropout during an active re-arm must not *shorten*
+                    # the remaining suppression — the window may still be
+                    # dominated by the earlier gap's imputed rows.
+                    self._suppress[rejoined] = np.maximum(
+                        self._suppress[rejoined],
+                        np.minimum(self._gap_streak[rejoined], self.config.window - 1),
+                    )
+                    num_rejoined = int(np.count_nonzero(rejoined))
+                    self._rejoins += num_rejoined
+                    self._m_rejoins.inc(num_rejoined)
+                    logger.warning(
+                        "star_rejoin step=%d stars=%d", self._step, num_rejoined
+                    )
+                self._gap_streak[missing] += 1
+                self._gap_streak[~missing] = 0
+                if any_missing:
+                    dropped = int(
+                        np.count_nonzero(missing & (self._gap_streak == self.rearm_min_gap))
+                    )
+                    if dropped:
+                        self._dropouts += dropped
+                        self._m_dropouts.inc(dropped)
+                        logger.warning(
+                            "star_dropout step=%d stars=%d min_gap=%d",
+                            self._step, dropped, self.rearm_min_gap,
+                        )
+                suppressed = ~missing & (self._suppress > 0)
+                if suppressed.any():
+                    self._suppress[suppressed] -= 1
+                    masked = missing | suppressed
+            any_masked = bool(masked.any())
+            if any_missing:
+                self._missing_total += missing.sum(axis=1)
+            scaled = self._scaler.transform(rows)
+            times = self._timeline.resolve(1, None if timestamp is None else [timestamp])
+            self._timeline.append(times[0])
 
-        window = self.config.window
-        short = self.config.short_window
-        if any_missing:
-            for shard in np.flatnonzero(missing.any(axis=1)):
-                impute_missing_row(scaled[shard], missing[shard], self._buffers[shard])
-        for shard, buffer in enumerate(self._buffers):
-            buffer.append(scaled[shard])
-        step_index = self._step
-        self._step += 1
+            window = self.config.window
+            short = self.config.short_window
+            if any_missing:
+                for shard in np.flatnonzero(missing.any(axis=1)):
+                    impute_missing_row(scaled[shard], missing[shard], self._buffers[shard])
+            for shard, buffer in enumerate(self._buffers):
+                buffer.append(scaled[shard])
+            step_index = self._step
+            self._step += 1
+            if self._telemetry:
+                self._record_tick_metrics(missing, masked, any_missing, any_masked)
 
         if not self._buffers[0].is_full:
             scores = np.full((self.num_shards, self.num_variates), np.nan)
@@ -335,21 +475,22 @@ class FleetManager:
                 ready=False,
             )
 
-        self._batch_times[:] = self._timeline.view(window)[None, :]
-        if self._engine is not None:
-            for shard, buffer in enumerate(self._buffers):
-                self._batch_stack[shard] = buffer.view(window)
-            scores = self._engine.score_stack(self._batch_stack, self._batch_times)
-        else:
-            for shard, buffer in enumerate(self._buffers):
-                self._batch_long[shard] = buffer.view(window).T
-            scores = self.detector.score_windows(
-                self._batch_long,
-                self._batch_long[:, :, window - short :],
-                self._batch_times,
-                self._batch_times[:, window - short :],
-                backend="autograd",
-            )
+        with self._tracer.span("fleet.forward"):
+            self._batch_times[:] = self._timeline.view(window)[None, :]
+            if self._engine is not None:
+                for shard, buffer in enumerate(self._buffers):
+                    self._batch_stack[shard] = buffer.view(window)
+                scores = self._engine.score_stack(self._batch_stack, self._batch_times)
+            else:
+                for shard, buffer in enumerate(self._buffers):
+                    self._batch_long[shard] = buffer.view(window).T
+                scores = self.detector.score_windows(
+                    self._batch_long,
+                    self._batch_long[:, :, window - short :],
+                    self._batch_times,
+                    self._batch_times[:, window - short :],
+                    backend="autograd",
+                )
         if any_masked:
             # An imputed window still yields a finite model output, but a
             # star that was not observed this tick — or is re-arming after a
@@ -357,26 +498,40 @@ class FleetManager:
             # state and alert streaks all treat it as a gap.
             scores = scores.copy() if not scores.flags.writeable else scores
             scores[masked] = np.nan
-        if self.adaptive_pot is not None:
-            # The SPOT decision uses the thresholds as they stood *before*
-            # this observation — snapshot them so results and alerts record
-            # the values that actually fired, then advance the whole fleet
-            # with one array-native update.
-            thresholds = self._current_thresholds()
-            labels = self.adaptive_pot.update(scores.ravel()).reshape(scores.shape)
-            alerts = self.alert_policy.update(
-                step_index, scores, thresholds.ravel(), shard_width=self.num_variates
-            )
-        else:
-            thresholds = self._current_thresholds()
-            labels = (scores >= self.threshold).astype(np.int64)
-            alerts = self.alert_policy.update(
-                step_index, scores, self.threshold, shard_width=self.num_variates
-            )
+        with self._tracer.span("fleet.thresholds"):
+            if self.adaptive_pot is not None:
+                # The SPOT decision uses the thresholds as they stood *before*
+                # this observation — snapshot them so results and alerts record
+                # the values that actually fired, then advance the whole fleet
+                # with one array-native update.
+                thresholds = self._current_thresholds()
+                labels = self.adaptive_pot.update(scores.ravel()).reshape(scores.shape)
+            else:
+                thresholds = self._current_thresholds()
+                labels = (scores >= self.threshold).astype(np.int64)
+        with self._tracer.span("fleet.alerts"):
+            if self.adaptive_pot is not None:
+                alerts = self.alert_policy.update(
+                    step_index, scores, thresholds.ravel(), shard_width=self.num_variates
+                )
+            else:
+                alerts = self.alert_policy.update(
+                    step_index, scores, self.threshold, shard_width=self.num_variates
+                )
         return FleetStepResult(
             step=step_index, scores=scores, labels=labels,
             threshold=self.threshold, thresholds=thresholds, alerts=alerts,
         )
+
+    def _record_tick_metrics(self, missing, masked, any_missing: bool, any_masked: bool) -> None:
+        """Per-tick metric updates (telemetry on only): O(1) array ops."""
+        if any_missing:
+            self._m_missing.add(missing.sum(axis=1))
+        if any_masked:
+            self._m_masked.add(masked.sum(axis=1))
+        self._m_gap_rate.set(self._missing_total / (self._step * self.num_variates))
+        if self.rearm_min_gap:
+            self._m_rearming.set(int(np.count_nonzero(self._suppress > 0)))
 
     def _current_thresholds(self) -> np.ndarray:
         """The per-star thresholds in force right now, as ``(num_shards, N)``."""

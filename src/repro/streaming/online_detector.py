@@ -23,12 +23,16 @@ single batch ``score()`` call over the same windows.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+from ..obs.tracing import get_tracer
 from .timeline import seed_stream_state
 from .vector_pot import VectorizedIncrementalPOT, calibrate_adaptive_pot
 
@@ -42,6 +46,8 @@ __all__ = [
     "resolve_backend_engine",
     "resolve_swap_source",
 ]
+
+logger = logging.getLogger("repro.streaming.online_detector")
 
 
 def resolve_backend_engine(detector: "AeroDetector", backend):
@@ -266,6 +272,21 @@ class StreamingDetector:
         if self._engine is not None and self._engine.model.graph_mode == "dynamic":
             self._engine.reset_dynamic_state()
 
+        # Telemetry (no-ops until repro.obs.enable_telemetry; never perturbs
+        # scores).  model_version is stamped by ModelRegistry.deploy.
+        self.model_version: str | None = None
+        self._tracer = get_tracer()
+        self._registry = get_registry()
+        self._m_steps = self._registry.counter(
+            "stream_steps_total", "Rows ingested by single-stream detectors"
+        )
+        self._m_step_seconds = self._registry.histogram(
+            "stream_step_seconds", "Wall-clock latency of one streaming micro-batch"
+        )
+        self._m_swaps = self._registry.counter(
+            "stream_hot_swaps_total", "Serving models hot-swapped into running streams"
+        )
+
     # ------------------------------------------------------------------
     @property
     def steps_ingested(self) -> int:
@@ -330,6 +351,13 @@ class StreamingDetector:
                 target.detector.model.noise.reset_dynamic_state()
             if self._engine is not None:
                 self._engine.reset_dynamic_state()
+        # A raw-source swap leaves the registry-version label unknown;
+        # ModelRegistry.deploy re-stamps it after calling us.
+        self.model_version = None
+        self._m_swaps.inc()
+        logger.warning(
+            "hot_swap step=%d backend=%s threshold=%.6g", self._steps, self.backend, self.threshold
+        )
 
     def step(self, row: np.ndarray, timestamp: float | None = None) -> StreamStepResult:
         """Ingest one observation row of shape ``(N,)`` and emit its scores."""
@@ -355,6 +383,19 @@ class StreamingDetector:
         poison the next ``W`` windows), while the emitted score for that star
         is NaN on the gap tick and it is skipped by the adaptive POT.
         """
+        started = time.perf_counter()
+        with self._tracer.span("stream.step"):
+            results = self._step_many_inner(rows, timestamps)
+        if results:
+            self._m_steps.inc(len(results))
+            self._m_step_seconds.observe(time.perf_counter() - started)
+        return results
+
+    def _step_many_inner(
+        self,
+        rows: np.ndarray,
+        timestamps: np.ndarray | None = None,
+    ) -> list[StreamStepResult]:
         rows = np.asarray(rows, dtype=np.float64)
         if rows.ndim != 2 or rows.shape[1] != self.num_variates:
             raise ValueError(f"rows must have shape (k, {self.num_variates}), got {rows.shape}")

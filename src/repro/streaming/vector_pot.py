@@ -32,10 +32,15 @@ observation counts, excess sets and re-fit cadence) — asserted in
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 
 from ..evaluation.pot import fit_gpd, gpd_tail_thresholds
+from ..obs.metrics import get_registry
 from .online_pot import IncrementalPOT
+
+logger = logging.getLogger("repro.streaming.pot")
 
 __all__ = ["VectorizedIncrementalPOT", "calibrate_adaptive_pot"]
 
@@ -249,12 +254,26 @@ class VectorizedIncrementalPOT:
             # over pay the grid search this tick, exactly as in the scalar
             # class — and through the very same fit_gpd, keeping bit-equality.
             for star in due:
-                fit = fit_gpd(self._pool[star, : self._counts[star]])
+                try:
+                    fit = fit_gpd(self._pool[star, : self._counts[star]])
+                except Exception:
+                    # Telemetry must not change behaviour: record the event,
+                    # then fail exactly as the uninstrumented path would.
+                    logger.warning(
+                        "pot_refit_failed star=%d excesses=%d",
+                        int(star), int(self._counts[star]),
+                    )
+                    raise
                 self._shapes[star] = fit.shape
                 self._scales[star] = fit.scale
                 self._has_fit[star] = True
                 self.num_refits[star] += 1
             self._since_refit[due] = 0
+            if due.size:
+                # Resolved per refit event (rare, staggered), not per tick.
+                get_registry().counter(
+                    "pot_refits_total", "Per-star adaptive GPD threshold re-fits"
+                ).inc(int(due.size))
         self._recompute_thresholds()
         return alarms.astype(np.int64).reshape(scores.shape)
 

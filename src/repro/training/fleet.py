@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 import numpy as np
 
+from ..obs.metrics import get_registry
 from .session import TrainingHistory
 
 if TYPE_CHECKING:  # pragma: no cover - imports only for type checkers
@@ -247,10 +248,25 @@ class FleetTrainer:
         results: list[StarResult | None] = [None] * total
         completed = 0
 
+        # Resolved once per train() call — star training runs for seconds,
+        # so telemetry toggles take effect on the next fleet run.
+        metrics = get_registry()
+        m_trained = metrics.counter(
+            "fleet_stars_trained_total", "Stars trained to completion by FleetTrainer"
+        )
+        m_failed = metrics.counter(
+            "fleet_stars_failed_total", "Star training runs that failed"
+        )
+        m_duration = metrics.histogram(
+            "fleet_star_train_seconds", "Wall-clock duration of one star's training run"
+        )
+
         def finish(index: int, result: StarResult) -> None:
             nonlocal completed
             completed += 1
             results[index] = result
+            m_duration.observe(result.duration_seconds)
+            (m_trained if result.ok else m_failed).inc()
             if result.ok:
                 logger.info(
                     "[fleet] %s trained in %.1fs (%d/%d)",

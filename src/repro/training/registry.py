@@ -46,6 +46,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.metrics import get_registry
+
 if TYPE_CHECKING:  # pragma: no cover - imports only for type checkers
     from ..core.detector import AeroDetector
     from ..runtime.compiler import CompiledDetector
@@ -239,6 +241,9 @@ class ModelRegistry:
                 shutil.rmtree(staging, ignore_errors=True)
                 continue
             published = self.get(name, version)
+            get_registry().counter(
+                "registry_publishes_total", "Model versions published into registries"
+            ).inc()
             logger.info("[registry] published %s -> %s", published.label, published.path)
             return published
         raise RuntimeError(
@@ -342,6 +347,13 @@ class ModelRegistry:
         if state is not None:
             target.load_threshold_state(state)
             logger.info("[registry] restored per-star thresholds from %s", resolved.label)
+        # Stamp the serving version for health snapshots — swap_model itself
+        # cleared it, since a raw-source swap has no registry identity.
+        if hasattr(target, "model_version"):
+            target.model_version = resolved.label
+        get_registry().counter(
+            "registry_deploys_total", "Model versions hot-deployed into serving front-ends"
+        ).inc()
         logger.info("[registry] deployed %s into %s", resolved.label, type(target).__name__)
         return resolved
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import logging
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -37,6 +38,8 @@ import numpy as np
 
 from ..nn import Adam, Tensor, clip_grad_norm, mse_loss, no_grad
 from ..nn.serialization import load_arrays, save_arrays
+from ..obs.metrics import get_registry
+from ..obs.tracing import trace
 
 if TYPE_CHECKING:  # pragma: no cover - imports only for type checkers
     from ..core.config import AeroConfig
@@ -377,8 +380,26 @@ class TrainingSession:
             self._finish_stage(stage)
             return 0
 
-        loss = self._train_epoch(stage)
-        val_loss = None if self._val_windows is None else self._validation_loss(stage)
+        # Telemetry resolves the *current* defaults per epoch (long-lived
+        # sessions honour enable/disable immediately); epochs are seconds,
+        # so the lookups are noise.
+        started = time.perf_counter()
+        with trace(f"training.stage{stage}"):
+            with trace("training.epoch"):
+                loss = self._train_epoch(stage)
+            if self._val_windows is None:
+                val_loss = None
+            else:
+                with trace("training.validation"):
+                    val_loss = self._validation_loss(stage)
+        registry = get_registry()
+        registry.counter(
+            "training_epochs_total", "Training epochs completed, by stage",
+            labels=("stage",),
+        ).labels(stage=str(stage)).inc()
+        registry.histogram(
+            "training_epoch_seconds", "Wall-clock duration of one training epoch"
+        ).observe(time.perf_counter() - started)
         if stage == 1:
             self.history.stage1_losses.append(loss)
             if val_loss is not None:

@@ -1,0 +1,75 @@
+"""Fixtures for the observability suite.
+
+The replay fixtures mirror ``tests/simulation`` but on a deliberately
+smaller night and a shorter fit — this suite checks telemetry transparency
+(bit-equality on vs off), not detection quality, so the cheapest scenario
+that exercises gaps, dropouts and alerts is the right one.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AeroConfig, AeroDetector
+from repro.evaluation import pot_threshold
+from repro.obs import metrics as metrics_module
+from repro.obs import tracing as tracing_module
+from repro.simulation import ScenarioConfig, build_scenario
+from repro.streaming import AlertPolicy, FleetManager
+
+OBS_SEED = 11
+
+OBS_SCENARIO = ScenarioConfig(
+    seed=OBS_SEED,
+    train_length=240,
+    calibration_length=120,
+    night_length=140,
+    num_events=3,
+)
+
+OBS_DETECTOR = AeroConfig.fast(window=24, short_window=8).scaled(
+    max_epochs_stage1=2, max_epochs_stage2=1, learning_rate=5e-3,
+    d_model=16, num_heads=2, train_stride=3, batch_size=16,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry_defaults():
+    """Leave the process-wide default registry/tracer as each test found them."""
+    registry = metrics_module.get_registry()
+    tracer = tracing_module.get_tracer()
+    yield
+    metrics_module.set_default_registry(
+        None if registry is metrics_module.NULL_REGISTRY else registry
+    )
+    tracing_module.set_default_tracer(
+        None if tracer is tracing_module.NULL_TRACER else tracer
+    )
+
+
+@pytest.fixture(scope="session")
+def obs_night():
+    """``(scenario, detector, threshold)`` for a small telemetry-test night."""
+    scenario = build_scenario(OBS_SCENARIO)
+    detector = AeroDetector(OBS_DETECTOR)
+    detector.fit(scenario.train, scenario.train_timestamps)
+    threshold = pot_threshold(
+        detector.score(scenario.calibration, scenario.calibration_timestamps), q=5e-3
+    )
+    assert np.isfinite(threshold)
+    return scenario, detector, threshold
+
+
+@pytest.fixture(scope="session")
+def make_obs_fleet():
+    """Factory: fresh fleets over the telemetry-test night."""
+
+    def build(detector, scenario, threshold, **kwargs) -> FleetManager:
+        return FleetManager(
+            detector,
+            num_shards=scenario.config.num_shards,
+            alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
+            threshold=threshold,
+            **kwargs,
+        )
+
+    return build

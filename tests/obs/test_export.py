@@ -1,0 +1,134 @@
+"""Exporters: Prometheus text round-trip, JSONL snapshots, periodic flusher."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    MetricsFlusher,
+    parse_prometheus,
+    read_jsonl_snapshots,
+    render_prometheus,
+    snapshot,
+    write_jsonl_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("fleet_ticks_total", "Ticks served").inc(42)
+    registry.gauge("service_queue_depth", "Queued exposures").set(7)
+    drops = registry.counter("service_dropped_total", "Drops", labels=("reason",))
+    drops.labels(reason="queue_full").inc(3)
+    drops.labels(reason="shed").inc(5)
+    vector = registry.counter_vector("fleet_missing_total", size=3, label="shard")
+    vector.add(np.array([1.0, 0.0, 4.0]))
+    hist = registry.histogram("fleet_step_seconds", "Tick latency", buckets=(0.1, 1.0))
+    hist.observe_many(np.array([0.05, 0.5, 0.5, 9.0]))
+    return registry
+
+
+def test_prometheus_round_trip():
+    registry = _populated_registry()
+    text = render_prometheus(registry)
+    assert "# HELP fleet_ticks_total Ticks served" in text
+    assert "# TYPE fleet_step_seconds histogram" in text
+
+    samples = parse_prometheus(text)
+    assert samples[("fleet_ticks_total", ())] == 42
+    assert samples[("service_queue_depth", ())] == 7
+    assert samples[("service_dropped_total", (("reason", "queue_full"),))] == 3
+    assert samples[("service_dropped_total", (("reason", "shed"),))] == 5
+    assert samples[("fleet_missing_total", (("shard", "2"),))] == 4
+    # Histogram series are cumulative with an +Inf overflow bucket.
+    assert samples[("fleet_step_seconds_bucket", (("le", "0.1"),))] == 1
+    assert samples[("fleet_step_seconds_bucket", (("le", "1"),))] == 3
+    assert samples[("fleet_step_seconds_bucket", (("le", "+Inf"),))] == 4
+    assert samples[("fleet_step_seconds_count", ())] == 4
+    assert samples[("fleet_step_seconds_sum", ())] == pytest.approx(10.05)
+
+
+def test_render_empty_registry_and_parse_errors():
+    assert render_prometheus(MetricsRegistry()) == ""
+    assert parse_prometheus("") == {}
+    assert parse_prometheus("# just a comment\n") == {}
+    with pytest.raises(ValueError, match="unparseable"):
+        parse_prometheus("{malformed 3\n")
+
+
+def test_parse_special_values():
+    samples = parse_prometheus("a NaN\nb +Inf\nc -Inf\n")
+    assert np.isnan(samples[("a", ())])
+    assert samples[("b", ())] == np.inf
+    assert samples[("c", ())] == -np.inf
+
+
+def test_snapshot_structure():
+    registry = _populated_registry()
+    snap = snapshot(registry)
+    assert snap["counters"]["fleet_ticks_total"] == 42
+    assert snap["counters"]['service_dropped_total{reason=shed}'] == 5
+    assert snap["counters"]["fleet_missing_total{shard=2}"] == 4
+    assert snap["gauges"]["service_queue_depth"] == 7
+    hist = snap["histograms"]["fleet_step_seconds"]
+    assert hist["count"] == 4
+    assert sum(hist["counts"]) == 4
+    assert 0.0 < hist["p50"] <= 1.0
+
+
+def test_jsonl_snapshots_round_trip(tmp_path):
+    registry = _populated_registry()
+    path = tmp_path / "nested" / "metrics.jsonl"
+    write_jsonl_snapshot(registry, path, timestamp=100.0)
+    registry.counter("fleet_ticks_total").inc()
+    write_jsonl_snapshot(registry, path, timestamp=200.0)
+
+    records = read_jsonl_snapshots(path)
+    assert [record["time"] for record in records] == [100.0, 200.0]
+    assert records[0]["counters"]["fleet_ticks_total"] == 42
+    assert records[1]["counters"]["fleet_ticks_total"] == 43
+
+
+def test_jsonl_snapshot_serialises_empty_histogram_quantiles(tmp_path):
+    registry = MetricsRegistry()
+    registry.histogram("lat_seconds", "never observed")
+    path = write_jsonl_snapshot(registry, tmp_path / "m.jsonl")
+    record = read_jsonl_snapshots(path)[0]
+    # NaN quantiles become JSON null rather than invalid JSON.
+    assert record["histograms"]["lat_seconds"]["p50"] is None
+
+
+def test_flusher_flushes_on_step_cadence(tmp_path):
+    registry = _populated_registry()
+    flusher = MetricsFlusher(registry, tmp_path / "m.jsonl", every_steps=4)
+    assert not any(flusher.tick() for _ in range(3))
+    assert flusher.flushes == 0
+    assert flusher.tick() is True
+    assert flusher.flushes == 1
+    assert len(read_jsonl_snapshots(flusher.path)) == 1
+    # The step counter rewinds after a flush.
+    assert not flusher.tick()
+    flusher.flush()
+    assert flusher.flushes == 2
+
+
+def test_flusher_flushes_on_wall_clock(tmp_path):
+    registry = _populated_registry()
+    flusher = MetricsFlusher(
+        registry, tmp_path / "m.jsonl", every_steps=None, every_seconds=0.01
+    )
+    time.sleep(0.05)
+    assert flusher.tick() is True
+    assert flusher.flushes == 1
+
+
+def test_flusher_validates_cadence(tmp_path):
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError, match="every_steps and/or every_seconds"):
+        MetricsFlusher(registry, tmp_path / "m.jsonl", every_steps=None)
+    with pytest.raises(ValueError, match="every_steps must be positive"):
+        MetricsFlusher(registry, tmp_path / "m.jsonl", every_steps=0)
+    with pytest.raises(ValueError, match="every_seconds must be positive"):
+        MetricsFlusher(registry, tmp_path / "m.jsonl", every_seconds=0.0)

@@ -1,0 +1,170 @@
+"""Service accounting: drop reasons, shedding, health snapshots, WARN logs."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.obs.health import FleetHealth, latency_percentiles
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.streaming import StreamingService
+
+
+class _StubResult:
+    def __init__(self, num_stars):
+        self.scores = np.zeros(num_stars)
+        self.alerts = ()
+
+
+class _StubFleet:
+    """Duck-typed scorer: step() only — no health(), no num_stars."""
+
+    def __init__(self, num_stars=8):
+        self._num_stars = num_stars
+        self.steps = 0
+
+    def step(self, rows, timestamp=None):
+        self.steps += 1
+        return _StubResult(self._num_stars)
+
+
+def _fill(service, count):
+    for _ in range(count):
+        service.submit(np.zeros((2, 4)))
+
+
+# ---------------------------------------------------------------------------
+# drop reasons
+# ---------------------------------------------------------------------------
+def test_submit_counts_queue_full_drops():
+    service = StreamingService(_StubFleet(), max_queue=3)
+    _fill(service, 3)
+    assert service.submit(np.zeros((2, 4))) is False
+    assert service.submit(np.zeros((2, 4))) is False
+    stats = service.stats()
+    assert stats.dropped_queue_full == 2
+    assert stats.dropped_shed == 0
+    assert stats.dropped_steps == 2
+    assert stats.queue_depth == 3
+    assert "(queue_full=2 shed=0)" in str(stats)
+
+
+def test_shed_drops_stalest_first():
+    fleet = _StubFleet()
+    service = StreamingService(fleet, max_queue=10)
+    _fill(service, 5)
+    assert service.shed(2) == 2
+    assert service.queue_depth == 3
+    assert service.shed() == 3          # no count: shed everything
+    assert service.shed(4) == 0         # empty queue sheds nothing
+    with pytest.raises(ValueError, match="non-negative"):
+        service.shed(-1)
+    stats = service.stats()
+    assert stats.dropped_shed == 5
+    assert stats.dropped_queue_full == 0
+    assert stats.dropped_steps == 5
+    assert fleet.steps == 0             # shed exposures are never scored
+
+
+def test_drop_reasons_feed_labelled_metric():
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        service = StreamingService(_StubFleet(), max_queue=1)
+    _fill(service, 3)                   # 1 queued, 2 rejected
+    service.shed(1)
+    drops = registry.get("service_dropped_total")
+    assert drops.labels(reason="queue_full").value == 2
+    assert drops.labels(reason="shed").value == 1
+    assert registry.get("service_submitted_total").value == 1
+
+
+def test_queue_drop_warns_rate_limited(caplog):
+    service = StreamingService(_StubFleet(), max_queue=1)
+    _fill(service, 1)
+    with caplog.at_level(logging.WARNING, logger="repro.streaming.service"):
+        _fill(service, 3)               # drops 1, 2, 3: only the first logs
+        service.shed(1)                 # shed always logs
+    drop_logs = [r for r in caplog.records if "queue_drop" in r.message]
+    assert len(drop_logs) == 2
+    assert "reason=queue_full" in drop_logs[0].getMessage()
+    assert "reason=shed" in drop_logs[1].getMessage()
+
+
+# ---------------------------------------------------------------------------
+# health snapshots
+# ---------------------------------------------------------------------------
+def test_service_health_without_fleet_health():
+    service = StreamingService(_StubFleet(), max_queue=4)
+    _fill(service, 2)
+    service.drain()
+    health = service.health()
+    assert health.fleet is None             # duck-typed fleet has no health()
+    assert health.processed_steps == 2
+    assert health.queue_depth == 0
+    assert health.max_queue_depth == 2
+    assert not health.under_pressure
+    assert health.healthy
+    assert np.isfinite(health.p50_step_ms)
+    assert "service steps=2" in health.format()
+
+
+def test_service_health_under_pressure():
+    service = StreamingService(_StubFleet(), max_queue=4)
+    _fill(service, 3)                       # 3 > 4 // 2: pressure
+    health = service.health()
+    assert health.under_pressure
+    assert not health.healthy
+    assert "DEGRADED" in str(health)
+    data = health.to_dict()
+    assert data["healthy"] is False
+    assert data["fleet"] is None
+
+
+def test_fleet_health_degrades_on_gap_rates():
+    base = dict(
+        steps_ingested=100, num_shards=2, num_stars=8, backend="plan",
+        threshold_mode="global", model_version="v3", warmed_up=True,
+        alerts_fired=1, threshold_refits=0, rearm_suppressed_stars=0,
+        dropouts=2, rejoins=2, missing_rate=0.05,
+    )
+    healthy = FleetHealth(shard_gap_rates=[0.1, 0.2], **base)
+    assert healthy.healthy
+    assert "fleet[v3]" in healthy.format()
+    drowning = FleetHealth(shard_gap_rates=[0.1, 0.6], **base)
+    assert not drowning.healthy
+    cold = FleetHealth(shard_gap_rates=[0.0, 0.0], **{**base, "warmed_up": False})
+    assert not cold.healthy
+    assert cold.to_dict()["healthy"] is False
+
+
+def test_service_health_nests_fleet_health():
+    fleet_health = FleetHealth(
+        steps_ingested=10, num_shards=1, num_stars=4, backend="plan",
+        threshold_mode="global", model_version=None, warmed_up=True,
+        alerts_fired=0, threshold_refits=0, rearm_suppressed_stars=0,
+        dropouts=0, rejoins=0, missing_rate=0.0, shard_gap_rates=[0.0],
+    )
+
+    class _HealthyFleet(_StubFleet):
+        def health(self):
+            return fleet_health
+
+    service = StreamingService(_HealthyFleet(), max_queue=4)
+    health = service.health()
+    assert health.fleet is fleet_health
+    assert health.healthy
+    assert health.to_dict()["fleet"]["num_stars"] == 4
+    assert "fleet[unversioned]" in health.format()
+
+
+# ---------------------------------------------------------------------------
+# latency percentiles
+# ---------------------------------------------------------------------------
+def test_latency_percentiles():
+    p50, p99 = latency_percentiles([])
+    assert np.isnan(p50) and np.isnan(p99)
+    p50, p99 = latency_percentiles([0.002])
+    assert p50 == p99 == pytest.approx(2.0)    # single sample verbatim, in ms
+    p50, p99 = latency_percentiles(np.linspace(0.001, 0.1, 100))
+    assert p50 < p99
+    assert p50 == pytest.approx(50.5, rel=0.05)

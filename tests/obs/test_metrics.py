@@ -1,0 +1,258 @@
+"""Registry and instrument correctness, plus the no-op fast path."""
+
+import itertools
+import tracemalloc
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable_telemetry,
+    enable_telemetry,
+    get_registry,
+    use_registry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer, get_tracer
+
+
+# ---------------------------------------------------------------------------
+# scalar instruments
+# ---------------------------------------------------------------------------
+def test_counter_monotonic():
+    counter = Counter("ticks_total")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError, match="only go up"):
+        counter.inc(-1)
+    counter.reset()
+    assert counter.value == 0.0
+
+
+def test_gauge_moves_both_ways():
+    gauge = Gauge("queue_depth")
+    gauge.set(7)
+    gauge.inc(3)
+    gauge.dec(1.5)
+    assert gauge.value == 8.5
+
+
+def test_histogram_bucket_semantics():
+    hist = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+    hist.observe(0.05)    # first bucket
+    hist.observe(0.1)     # le is inclusive: still the first bucket
+    hist.observe(5.0)     # third bucket
+    hist.observe(99.0)    # +Inf overflow
+    assert hist.counts.tolist() == [2, 0, 1, 1]
+    assert hist.cumulative_counts.tolist() == [2, 2, 3, 4]
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(0.05 + 0.1 + 5.0 + 99.0)
+
+
+def test_histogram_observe_many_matches_observe():
+    values = np.array([0.01, 0.2, 0.2, 3.0, 50.0])
+    one_by_one = Histogram("a", buckets=(0.1, 1.0, 10.0))
+    for value in values:
+        one_by_one.observe(float(value))
+    batched = Histogram("b", buckets=(0.1, 1.0, 10.0))
+    batched.observe_many(values)
+    batched.observe_many(np.empty(0))   # no-op
+    assert np.array_equal(one_by_one.counts, batched.counts)
+    assert one_by_one.count == batched.count
+    assert one_by_one.sum == pytest.approx(batched.sum)
+
+
+def test_histogram_validates_buckets():
+    with pytest.raises(ValueError, match="at least one"):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError, match="finite"):
+        Histogram("h", buckets=(1.0, float("inf")))
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("h", buckets=(1.0, 1.0))
+
+
+def test_histogram_quantile():
+    hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+    assert np.isnan(hist.quantile(0.5))
+    with pytest.raises(ValueError, match="q must be"):
+        hist.quantile(1.5)
+    hist.observe_many(np.array([0.5, 1.5, 1.5, 3.0]))
+    assert 0.0 < hist.quantile(0.25) <= 1.0
+    assert 1.0 < hist.quantile(0.6) <= 2.0
+    # Mass in the overflow bucket clamps to the last finite bound.
+    hist.observe_many(np.full(20, 100.0))
+    assert hist.quantile(0.99) == 4.0
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=80
+    ),
+    bounds=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    ),
+)
+def test_histogram_counts_always_sum_to_count(values, bounds):
+    """Property: every observation lands in exactly one bucket."""
+    hist = Histogram("h", buckets=tuple(sorted(bounds)))
+    for value in values:
+        hist.observe(value)
+    hist.observe_many(np.asarray(values))
+    total = 2 * len(values)
+    assert int(hist.counts.sum()) == hist.count == total
+    assert int(hist.cumulative_counts[-1]) == total
+    assert hist.sum == pytest.approx(2 * sum(values), rel=1e-9, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# registry resolution
+# ---------------------------------------------------------------------------
+def test_registry_resolves_idempotently():
+    registry = MetricsRegistry()
+    first = registry.counter("fleet_ticks_total", "ticks")
+    second = registry.counter("fleet_ticks_total")
+    assert first is second
+    assert "fleet_ticks_total" in registry
+    assert registry.get("fleet_ticks_total") is first
+    assert [m.name for m in registry.collect()] == ["fleet_ticks_total"]
+
+
+def test_registry_rejects_kind_mismatch_and_bad_names():
+    registry = MetricsRegistry()
+    registry.counter("a_total")
+    with pytest.raises(ValueError, match="already registered as a counter"):
+        registry.gauge("a_total")
+    with pytest.raises(ValueError, match="invalid metric name"):
+        registry.counter("9starts_with_digit")
+    with pytest.raises(ValueError, match="invalid metric name"):
+        registry.counter("has space")
+
+
+def test_registry_reset_zeroes_but_keeps_instruments():
+    registry = MetricsRegistry()
+    counter = registry.counter("a_total")
+    hist = registry.histogram("lat_seconds")
+    counter.inc(5)
+    hist.observe(0.2)
+    registry.reset()
+    assert registry.counter("a_total") is counter
+    assert counter.value == 0.0
+    assert hist.count == 0
+
+
+def test_labelled_family_children_and_cardinality_cap():
+    registry = MetricsRegistry(max_label_cardinality=2)
+    family = registry.counter("drops_total", "drops", labels=("reason",))
+    family.labels(reason="queue_full").inc()
+    family.labels(reason="queue_full").inc()
+    family.labels(reason="shed").inc(3)
+    assert family.labels(reason="queue_full").value == 2
+    assert family.children[("shed",)].value == 3
+    with pytest.raises(ValueError, match="takes labels"):
+        family.labels(cause="bad_label_name")
+    with pytest.raises(ValueError, match="cardinality cap"):
+        family.labels(reason="a_third_value")
+
+
+def test_vector_metrics_grow_and_check_shape():
+    registry = MetricsRegistry()
+    missing = registry.counter_vector("missing_total", size=3, label="shard")
+    missing.add(np.array([1.0, 0.0, 2.0]))
+    missing.inc_at(1)
+    assert missing.values.tolist() == [1.0, 1.0, 2.0]
+    assert missing.total == 4.0
+    with pytest.raises(ValueError, match="shape"):
+        missing.add(np.zeros(4))
+    # Re-requesting with a larger fleet grows the array, preserving totals.
+    grown = registry.counter_vector("missing_total", size=5)
+    assert grown is missing
+    assert grown.values.tolist() == [1.0, 1.0, 2.0, 0.0, 0.0]
+
+    gauge = registry.gauge_vector("gap_rate", size=2)
+    gauge.set(np.array([0.1, 0.2]))
+    gauge.set_at(0, 0.5)
+    assert gauge.values.tolist() == [0.5, 0.2]
+    with pytest.raises(ValueError, match="scalar counter"):
+        registry.counter("other_total")
+        registry.counter_vector("other_total", size=2)
+
+
+# ---------------------------------------------------------------------------
+# defaults and the no-op fast path
+# ---------------------------------------------------------------------------
+def test_enable_disable_telemetry_switches_both_defaults():
+    assert isinstance(get_registry(), NullRegistry)
+    registry = enable_telemetry()
+    try:
+        assert get_registry() is registry
+        assert registry.enabled
+        assert isinstance(get_tracer(), Tracer)
+    finally:
+        disable_telemetry()
+    assert get_registry() is NULL_REGISTRY
+    assert isinstance(get_tracer(), NullTracer)
+
+
+def test_use_registry_restores_previous_default():
+    scoped = MetricsRegistry()
+    with use_registry(scoped) as active:
+        assert active is scoped
+        assert get_registry() is scoped
+    assert get_registry() is NULL_REGISTRY
+
+
+def test_null_registry_hands_out_shared_singletons():
+    assert not NULL_REGISTRY.enabled
+    assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+    assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter_vector("c", size=9)
+    assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge_vector("d", size=9)
+    assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b", buckets=(1.0,))
+    assert NULL_REGISTRY.collect() == []
+    family = NULL_REGISTRY.counter("drops", labels=("reason",))
+    assert family.labels(reason="anything") is family
+    assert np.isnan(NULL_REGISTRY.histogram("h").quantile(0.5))
+
+
+def test_null_instruments_allocate_nothing():
+    """Telemetry off must cost zero allocations per instrumented tick."""
+    counter = NULL_REGISTRY.counter("ticks_total")
+    gauge = NULL_REGISTRY.gauge("depth")
+    hist = NULL_REGISTRY.histogram("lat", buckets=LATENCY_BUCKETS)
+
+    def tick_loop(iterations):
+        for _ in itertools.repeat(None, iterations):
+            counter.inc()
+            counter.inc(2.0)
+            gauge.set(3.0)
+            gauge.inc()
+            hist.observe(0.5)
+            with NULL_TRACER.span("fleet.step"):
+                pass
+
+    tick_loop(100)  # warm up caches / lazy imports
+    tracemalloc.start()
+    try:
+        tick_loop(10)
+        tracemalloc.reset_peak()
+        before, _ = tracemalloc.get_traced_memory()
+        tick_loop(1000)
+        after, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert after - before == 0, "null instruments leaked per-tick allocations"
+    # The loop scaffolding itself (one itertools.repeat) is the only
+    # transient allowed; per-iteration cost must be zero.
+    assert peak - before < 512

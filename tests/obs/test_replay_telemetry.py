@@ -1,0 +1,124 @@
+"""End-to-end telemetry over a seeded replay: transparency, health, export.
+
+The load-bearing guarantee: telemetry must never perturb results.  A seeded
+survey night replayed with telemetry fully on produces **bit-identical**
+scores, thresholds, labels and alerts to the same night with telemetry off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs import render_prometheus
+from repro.obs.export import parse_prometheus
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracing import Tracer, use_tracer
+from repro.simulation import ReplayHarness
+from repro.streaming import StreamingService
+
+
+def _replay(obs_night, make_obs_fleet, registry=None, tracer=None):
+    scenario, detector, threshold = obs_night
+    with use_registry(registry), use_tracer(tracer):
+        fleet = make_obs_fleet(detector, scenario, threshold)
+        report, trace = ReplayHarness(fleet, scenario).run()
+    return fleet, report, trace
+
+
+def test_telemetry_is_bit_transparent(obs_night, make_obs_fleet):
+    _, report_off, trace_off = _replay(obs_night, make_obs_fleet)
+    _, report_on, trace_on = _replay(
+        obs_night, make_obs_fleet, registry=MetricsRegistry(), tracer=Tracer()
+    )
+
+    assert np.array_equal(trace_off.scores, trace_on.scores, equal_nan=True)
+    assert np.array_equal(trace_off.thresholds, trace_on.thresholds, equal_nan=True)
+    assert np.array_equal(trace_off.labels, trace_on.labels)
+    assert np.array_equal(trace_off.alert_seqs, trace_on.alert_seqs)
+    assert np.array_equal(trace_off.alert_stars, trace_on.alert_stars)
+    assert np.array_equal(trace_off.alert_scores, trace_on.alert_scores)
+    assert report_off.num_alerts == report_on.num_alerts
+    assert report_off.recall == report_on.recall
+
+
+def test_fleet_health_after_replay(obs_night, make_obs_fleet):
+    scenario, _, _ = obs_night
+    fleet, report, trace = _replay(obs_night, make_obs_fleet)
+
+    health = fleet.health()
+    assert health.steps_ingested == len(trace.seqs)
+    assert health.num_shards == scenario.config.num_shards
+    assert health.num_stars == scenario.num_stars
+    assert health.warmed_up
+    assert health.alerts_fired == report.num_alerts
+    assert health.model_version is None        # not deployed from a registry
+    assert len(health.shard_gap_rates) == scenario.config.num_shards
+    assert 0.0 <= health.missing_rate < 0.5
+    assert health.missing_rate == pytest.approx(
+        float(np.mean(health.shard_gap_rates)), abs=1e-12
+    )
+    assert np.isfinite(health.p50_step_ms)
+    assert health.p50_step_ms <= health.p99_step_ms
+    assert health.healthy
+    line = health.format()
+    assert "fleet[unversioned]" in line and "healthy" in line
+    assert health.to_dict()["steps_ingested"] == health.steps_ingested
+
+
+def test_replay_metrics_and_prometheus_round_trip(obs_night, make_obs_fleet):
+    registry = MetricsRegistry()
+    fleet, report, trace = _replay(obs_night, make_obs_fleet, registry=registry)
+
+    ticks = len(trace.seqs)
+    assert registry.get("fleet_ticks_total").value == ticks
+    assert registry.get("fleet_step_seconds").count == ticks
+    assert registry.get("replay_frames_total").value == ticks
+    assert (
+        registry.get("replay_duplicates_dropped_total").value
+        == report.duplicates_dropped
+        > 0
+    )
+    assert registry.get("alerts_fired_total").value == report.num_alerts
+    missing = registry.get("fleet_missing_observations_total")
+    assert missing.values.sum() > 0          # the scenario injects NaN gaps
+    assert registry.get("fleet_star_dropouts_total").value >= 1
+
+    samples = parse_prometheus(render_prometheus(registry))
+    assert samples[("fleet_ticks_total", ())] == ticks
+    assert samples[("fleet_step_seconds_count", ())] == ticks
+    assert samples[("fleet_missing_observations_total", (("shard", "0"),))] == float(
+        missing.values[0]
+    )
+
+
+def test_replay_spans_nest_under_fleet_step(obs_night, make_obs_fleet):
+    tracer = Tracer(capacity=64)
+    _, _, trace = _replay(obs_night, make_obs_fleet, tracer=tracer)
+
+    summary = tracer.summary()
+    ticks = len(trace.seqs)
+    for name in ("replay.frame", "fleet.step", "fleet.ingest", "fleet.forward",
+                 "fleet.thresholds", "fleet.alerts"):
+        assert summary[name].count == ticks, name
+    step = tracer.spans_named("fleet.step")[-1]
+    assert step.parent == "replay.frame"
+    forward = tracer.spans_named("fleet.forward")[-1]
+    assert forward.parent == "fleet.step" and forward.depth == 2
+    # The ring is bounded; the aggregates above still cover every tick.
+    assert len(tracer.spans) == 64
+
+
+def test_service_health_nests_real_fleet(obs_night, make_obs_fleet):
+    scenario, detector, threshold = obs_night
+    fleet = make_obs_fleet(detector, scenario, threshold)
+    service = StreamingService(fleet, max_queue=8)
+    service.run(scenario.exposures[:40], scenario.timestamps[:40])
+
+    health = service.health()
+    assert health.processed_steps == 40
+    assert health.fleet is not None
+    assert health.fleet.steps_ingested == 40
+    assert health.dropped_total == 0
+    stats = service.stats()
+    assert stats.processed_steps == 40
+    assert "(queue_full=0 shed=0)" in stats.format()
+    assert "fleet[" in health.format()

@@ -1,0 +1,109 @@
+"""Span tracer: nesting, ring bounding, eviction-immune aggregates."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_default_tracer,
+    trace,
+    use_tracer,
+)
+
+
+def test_spans_nest_with_parent_and_depth():
+    tracer = Tracer()
+    with tracer.span("fleet.step"):
+        with tracer.span("fleet.forward"):
+            pass
+        with tracer.span("fleet.alerts"):
+            pass
+    spans = tracer.spans
+    # Children complete before their parent, so the ring is innermost-first.
+    assert [span.name for span in spans] == ["fleet.forward", "fleet.alerts", "fleet.step"]
+    forward, alerts, step = spans
+    assert step.depth == 0 and step.parent is None
+    assert forward.depth == 1 and forward.parent == "fleet.step"
+    assert alerts.depth == 1 and alerts.parent == "fleet.step"
+    assert step.duration_ns >= forward.duration_ns + alerts.duration_ns
+    assert step.duration_ms == pytest.approx(step.duration_ns / 1e6)
+
+
+def test_ring_bounds_records_but_stats_survive_eviction():
+    tracer = Tracer(capacity=4)
+    for _ in range(10):
+        with tracer.span("tick"):
+            pass
+    assert len(tracer.spans) == 4
+    assert len(tracer.spans_named("tick")) == 4
+    stats = tracer.summary()["tick"]
+    assert stats.count == 10
+    assert stats.total_ns >= stats.max_ns > 0
+    assert stats.mean_ms == pytest.approx(stats.total_ns / 10 / 1e6)
+    assert stats.total_ms == pytest.approx(stats.total_ns / 1e6)
+    tracer.clear()
+    assert tracer.spans == [] and tracer.summary() == {}
+
+
+def test_span_records_on_exception():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            raise RuntimeError("failure inside the span")
+    assert tracer.summary()["boom"].count == 1
+    # The stack unwound: the next span is a root again.
+    with tracer.span("after"):
+        pass
+    assert tracer.spans_named("after")[0].depth == 0
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError, match="capacity"):
+        Tracer(capacity=0)
+
+
+def test_stacks_are_per_thread():
+    tracer = Tracer()
+
+    def worker():
+        with tracer.span("worker.root"):
+            pass
+
+    with tracer.span("main.root"):
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    worker_root = tracer.spans_named("worker.root")[0]
+    # The worker ran while main.root was open, yet does not inherit it.
+    assert worker_root.depth == 0 and worker_root.parent is None
+
+
+def test_null_tracer_is_inert():
+    assert not NULL_TRACER.enabled
+    assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+    with NULL_TRACER.span("ignored"):
+        pass
+    assert NULL_TRACER.spans == []
+    assert NULL_TRACER.spans_named("ignored") == []
+    assert NULL_TRACER.summary() == {}
+    NULL_TRACER.clear()
+
+
+def test_trace_resolves_default_per_call():
+    assert isinstance(get_tracer(), NullTracer)
+    tracer = Tracer()
+    with use_tracer(tracer) as active:
+        assert active is tracer
+        with trace("training.epoch"):
+            pass
+    assert tracer.summary()["training.epoch"].count == 1
+    assert isinstance(get_tracer(), NullTracer)
+    # set_default_tracer(None) is the documented reset path.
+    set_default_tracer(Tracer())
+    assert isinstance(get_tracer(), Tracer)
+    set_default_tracer(None)
+    assert get_tracer() is NULL_TRACER
