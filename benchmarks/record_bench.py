@@ -8,12 +8,18 @@ Measures, on the seeded golden survey night (``ScenarioConfig(seed=7)``):
   fleet's health snapshot;
 * **fault-replay overhead** — wall-clock cost of driving the same night
   through :class:`repro.simulation.ReplayHarness` (dedupe gate, trace
-  collection, event scoring) relative to the plain tick loop.
+  collection, event scoring) relative to the plain tick loop;
+* **drift-monitor overhead** — the same night served with the full
+  model-quality stack attached (:class:`repro.obs.DriftMonitor` +
+  :class:`repro.obs.FlightRecorder`), relative to the plain tick loop.
 
-The JSON is committed next to this script as a longitudinal record: re-run
-after a serving-path change and diff the numbers.  CI uploads the freshly
-recorded file as an artifact on every run (numbers vary with runner
-hardware; the committed copy is the local reference).
+The JSON is committed next to this script as a longitudinal *trajectory*:
+a list of dated run records, appended to on every invocation, so serving
+regressions show up as a kink in the history rather than a silently
+overwritten number.  (Files written by older versions held a single
+record; they are migrated into a one-entry trajectory on the next run.)
+CI uploads the freshly recorded file as an artifact on every run (numbers
+vary with runner hardware; the committed copy is the local reference).
 
 Usage::
 
@@ -38,6 +44,7 @@ import numpy as np  # noqa: E402
 from repro import __version__  # noqa: E402
 from repro.core import AeroConfig, AeroDetector  # noqa: E402
 from repro.evaluation import pot_threshold  # noqa: E402
+from repro.obs import FlightRecorder, calibrate_drift_monitor  # noqa: E402
 from repro.simulation import ReplayHarness, ScenarioConfig, build_scenario  # noqa: E402
 from repro.streaming import AlertPolicy, FleetManager  # noqa: E402
 
@@ -50,12 +57,13 @@ DETECTOR_CONFIG = AeroConfig.fast(window=32, short_window=8).scaled(
 )
 
 
-def _build_fleet(detector, scenario, threshold) -> FleetManager:
+def _build_fleet(detector, scenario, threshold, **kwargs) -> FleetManager:
     return FleetManager(
         detector,
         num_shards=scenario.config.num_shards,
         alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
         threshold=threshold,
+        **kwargs,
     )
 
 
@@ -66,9 +74,10 @@ def record() -> dict:
     started = time.perf_counter()
     detector.fit(scenario.train, scenario.train_timestamps)
     fit_seconds = time.perf_counter() - started
-    threshold = pot_threshold(
-        detector.score(scenario.calibration, scenario.calibration_timestamps), q=POT_Q
+    calibration_scores = detector.score(
+        scenario.calibration, scenario.calibration_timestamps
     )
+    threshold = pot_threshold(calibration_scores, q=POT_Q)
 
     # --- plain fleet ticks: the raw serving loop, faults included ---------
     fleet = _build_fleet(detector, scenario, threshold)
@@ -85,8 +94,20 @@ def record() -> dict:
     replay_seconds = time.perf_counter() - started
     replay_frames = len(scenario.arrival) - report.duplicates_dropped
 
+    # --- model-quality stack: same loop with drift monitor + recorder ----
+    monitored = _build_fleet(
+        detector, scenario, threshold,
+        drift_monitor=calibrate_drift_monitor(
+            calibration_scores, num_stars=scenario.num_stars
+        ),
+        recorder=FlightRecorder(capacity=scenario.config.night_length),
+    )
+    started = time.perf_counter()
+    monitored.run(scenario.exposures, scenario.timestamps)
+    drift_seconds = time.perf_counter() - started
+
     return {
-        "schema": "bench-streaming/v1",
+        "schema": "bench-streaming/v2",
         "recorded_unix": time.time(),
         "repro_version": __version__,
         "platform": {
@@ -119,7 +140,24 @@ def record() -> dict:
             "recall": round(report.recall, 3),
             "precision": round(report.precision, 3),
         },
+        "drift": {
+            "seconds": round(drift_seconds, 4),
+            "overhead_vs_plain": round(drift_seconds / plain_seconds, 3),
+            "tripped_stars": monitored.drift_monitor.tripped_stars,
+            "flight_dumps": len(monitored.recorder.records),
+        },
     }
+
+
+def load_trajectory(path: Path) -> list[dict]:
+    """Existing run records at ``path`` (oldest first), tolerant of the
+    legacy layout where the file held one bare record instead of a list."""
+    if not path.exists():
+        return []
+    existing = json.loads(path.read_text())
+    if isinstance(existing, dict):                 # legacy single record
+        return [existing]
+    return list(existing)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -127,18 +165,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "-o", "--output",
         default=str(Path(__file__).resolve().parent / "BENCH_streaming.json"),
-        help="where to write the JSON record (default: benchmarks/BENCH_streaming.json)",
+        help="the JSON trajectory to append to (default: benchmarks/BENCH_streaming.json)",
     )
     args = parser.parse_args(argv)
-    record_dict = record()
     path = Path(args.output)
-    path.write_text(json.dumps(record_dict, indent=2) + "\n")
-    fleet, replay = record_dict["fleet"], record_dict["replay"]
-    print(f"wrote {path}")
+    trajectory = load_trajectory(path)
+    record_dict = record()
+    trajectory.append(record_dict)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    fleet, replay, drift = (
+        record_dict["fleet"], record_dict["replay"], record_dict["drift"]
+    )
+    print(f"wrote {path} ({len(trajectory)} run{'s' if len(trajectory) != 1 else ''})")
     print(
         f"fleet: {fleet['stars_per_second']:,.0f} stars/s "
         f"(p50 {fleet['p50_step_ms']:.2f} ms, p99 {fleet['p99_step_ms']:.2f} ms); "
-        f"replay overhead {replay['overhead_vs_plain']:.2f}x"
+        f"replay overhead {replay['overhead_vs_plain']:.2f}x; "
+        f"drift overhead {drift['overhead_vs_plain']:.2f}x"
     )
     return 0
 

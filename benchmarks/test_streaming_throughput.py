@@ -172,3 +172,63 @@ def test_telemetry_overhead(benchmark, profile):
     assert overhead <= TELEMETRY_OVERHEAD_CAP, (
         f"telemetry overhead {overhead:.3f}x exceeds {TELEMETRY_OVERHEAD_CAP}x"
     )
+
+
+# ---------------------------------------------------------------------------
+# drift-monitor overhead
+# ---------------------------------------------------------------------------
+DRIFT_OVERHEAD_CAP = 1.05   # monitored <= 5% over unmonitored
+
+
+def _run_drift_overhead():
+    """Paired per-tick timing of the model-quality stack vs a bare fleet.
+
+    Same lockstep discipline as :func:`_run_telemetry_overhead`: the fleet
+    with a :class:`DriftMonitor` + :class:`FlightRecorder` attached and the
+    bare fleet are stepped back to back per tick, each tick keeping its best
+    latency over the repetitions, so machine jitter cancels instead of
+    landing on one path.
+    """
+    from repro.obs import FlightRecorder, calibrate_drift_monitor
+
+    detector, dataset = _fitted()
+    rows = [
+        np.broadcast_to(row, (NUM_SHARDS, len(row)))
+        for row in dataset.test[HISTORY : HISTORY + STEPS]
+    ]
+    calibration_scores = detector.score(dataset.test[:HISTORY])
+    num_stars = NUM_SHARDS * dataset.num_variates
+    plain_ticks = np.full((TELEMETRY_REPS, STEPS), np.inf)
+    monitored_ticks = np.full((TELEMETRY_REPS, STEPS), np.inf)
+    for rep in range(TELEMETRY_REPS):
+        plain = FleetManager(detector, num_shards=NUM_SHARDS, alert_policy=AlertPolicy())
+        monitored = FleetManager(
+            detector, num_shards=NUM_SHARDS, alert_policy=AlertPolicy(),
+            drift_monitor=calibrate_drift_monitor(calibration_scores, num_stars=num_stars),
+            recorder=FlightRecorder(capacity=STEPS),
+        )
+        for tick, row in enumerate(rows):
+            started = time.perf_counter()
+            plain.step(row)
+            plain_ticks[rep, tick] = time.perf_counter() - started
+            started = time.perf_counter()
+            monitored.step(row)
+            monitored_ticks[rep, tick] = time.perf_counter() - started
+    return {
+        "plain": float(plain_ticks.min(axis=0).sum()),
+        "monitored": float(monitored_ticks.min(axis=0).sum()),
+    }
+
+
+def test_drift_overhead(benchmark, profile):
+    """Drift monitoring + flight recording cost <= 5% of fleet throughput."""
+    result = run_once(benchmark, _run_drift_overhead)
+    overhead = result["monitored"] / result["plain"]
+    print(
+        f"\nplain {1e3 * result['plain'] / STEPS:.3f} ms/tick, "
+        f"drift-monitored {1e3 * result['monitored'] / STEPS:.3f} ms/tick "
+        f"({overhead:.3f}x)"
+    )
+    assert overhead <= DRIFT_OVERHEAD_CAP, (
+        f"drift-monitoring overhead {overhead:.3f}x exceeds {DRIFT_OVERHEAD_CAP}x"
+    )

@@ -1,0 +1,156 @@
+"""Model-quality observability: drift monitoring + the incident flight recorder.
+
+A fleet that silently degrades is worse than one that pages: score drift
+(instrument refocus, seasonal baseline shift, a stale model) inflates or
+buries alerts long before anyone looks at a dashboard.  This walkthrough
+builds *two variants of the same survey night* — one quiet, one with
+baseline drift injected into two stars — and shows the model-quality
+stack catching the difference:
+
+1. build quiet and drift-faulted nights that share bit-identical train
+   and calibration stretches (fault knobs apply after the pre-night data
+   is drawn), so one detector and one drift reference serve both;
+2. calibrate a :class:`~repro.obs.DriftMonitor` from the held-out
+   calibration scores — the reference sketch the live score stream is
+   compared against (PSI + KS, with hysteresis);
+3. serve the quiet night: the monitor stays silent and the
+   :class:`~repro.obs.FlightRecorder` never dumps;
+4. serve the drifted night: the monitor trips, the fleet freezes the
+   recorder's ring into an on-disk flight record;
+5. replay the flight record bit-identically through a fresh fleet — the
+   post-mortem re-runs the actual incident, not a reconstruction;
+6. wrap the fleet in a :class:`~repro.streaming.StreamingService` with an
+   :class:`~repro.obs.SLOMonitor` to see the serving-level SLO windows
+   (tick latency, ingest drops, alert rate, POT refit health).
+
+Run with:  PYTHONPATH=src python examples/drift_flight_recorder.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AeroConfig, AeroDetector
+from repro.evaluation import pot_threshold
+from repro.obs import FlightRecord, FlightRecorder, SLOMonitor, calibrate_drift_monitor
+from repro.simulation import (
+    ReplayHarness,
+    ScenarioConfig,
+    build_scenario,
+    replay_flight_record,
+)
+from repro.streaming import AlertPolicy, FleetManager, StreamingService
+
+#: A clean-cadence night (no dropouts/duplicates) so the drift signal is
+#: the only difference between the two runs.
+NIGHT = dict(
+    seed=11, train_length=240, calibration_length=160, night_length=200,
+    num_events=0, num_dropouts=0, nan_fraction=0.0,
+    num_duplicate_frames=0, num_reordered_frames=0,
+)
+
+#: Serving-monitor settings: ``warmup_ticks`` covers the fleet's startup
+#: seam (first windows straddle the seeded-context/night gap), and the
+#: trip bound sits ~2x above the quiet night's worst sustained PSI.
+MONITOR = dict(
+    halflife=48, check_interval=4, min_observations=64, warmup_ticks=48,
+    psi_trip=1.0, psi_clear=0.30, ks_trip=0.60, ks_clear=0.20,
+    trip_after=2, clear_after=8,
+)
+
+
+def build_fleet(detector, scenario, threshold, **kwargs) -> FleetManager:
+    return FleetManager(
+        detector,
+        num_shards=scenario.config.num_shards,
+        alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
+        threshold=threshold,
+        **kwargs,
+    )
+
+
+def main() -> None:
+    # --- 1. one night, two variants ------------------------------------
+    quiet = build_scenario(ScenarioConfig(num_drift_stars=0, **NIGHT))
+    drifted = build_scenario(
+        ScenarioConfig(num_drift_stars=2, drift_amplitude=1.0, **NIGHT)
+    )
+    assert np.array_equal(quiet.train, drifted.train)
+    for fault in drifted.faults:
+        if fault.kind == "drift":
+            print(f"injected: baseline drift on star {fault.star} "
+                  f"ticks [{fault.start}, {fault.end})")
+
+    config = AeroConfig.fast(window=24, short_window=8).scaled(
+        max_epochs_stage1=2, max_epochs_stage2=1, learning_rate=5e-3,
+        d_model=16, num_heads=2, train_stride=3, batch_size=16,
+    )
+    detector = AeroDetector(config)
+    detector.fit(quiet.train, quiet.train_timestamps)
+
+    # --- 2. threshold + drift reference from the same held-out scores ---
+    cal_scores = detector.score(quiet.calibration, quiet.calibration_timestamps)
+    threshold = pot_threshold(cal_scores, q=5e-3)
+    print(f"serving threshold {threshold:.3f}; drift reference from "
+          f"{cal_scores.shape[0]} calibration ticks")
+
+    # --- 3. the quiet night: monitor stays silent ----------------------
+    fleet = build_fleet(
+        detector, quiet, threshold,
+        drift_monitor=calibrate_drift_monitor(
+            cal_scores, num_stars=quiet.num_stars, **MONITOR
+        ),
+        recorder=FlightRecorder(capacity=256),
+    )
+    ReplayHarness(fleet, quiet).run()
+    psi, ks = fleet.drift_monitor.divergence()
+    print(f"\nquiet night: trips {fleet.drift_monitor.trips_total}, "
+          f"flight dumps {len(fleet.recorder.records)}, "
+          f"worst PSI {psi.max():.2f}, worst KS {ks.max():.2f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # --- 4. the drifted night: trip -> flight record on disk -------
+        recorder = FlightRecorder(capacity=256, dump_dir=Path(tmp) / "black-box")
+        fleet = build_fleet(
+            detector, drifted, threshold,
+            drift_monitor=calibrate_drift_monitor(
+                cal_scores, num_stars=drifted.num_stars, **MONITOR
+            ),
+            recorder=recorder,
+        )
+        ReplayHarness(fleet, drifted).run()
+        monitor = fleet.drift_monitor
+        tripped = np.flatnonzero(monitor.first_trip_step >= 0)
+        psi, _ = monitor.divergence()
+        print(f"drifted night: {monitor.tripped_stars} stars tripped "
+              f"(first at tick {int(monitor.first_trip_step[tripped].min())}), "
+              f"worst PSI {psi.max():.2f}")
+        for star in tripped:
+            print(f"  star {int(star)}: tripped at tick "
+                  f"{int(monitor.first_trip_step[star])}, PSI {psi[star]:.2f}")
+        record = recorder.records[0]
+        print(f"flight record: {record.format()}")
+        print(f"  dumped to {record.path.name}")
+
+        # --- 5. the post-mortem replays bit-identically -----------------
+        loaded = FlightRecord.load(record.path)
+        _, mismatches = replay_flight_record(
+            build_fleet(detector, drifted, threshold), loaded
+        )
+        print(f"replayed {loaded.num_ticks} ticks through a fresh fleet: "
+              f"{len(mismatches)} mismatches")
+        assert mismatches == []
+
+    # --- 6. serving-level SLO windows ----------------------------------
+    slo = SLOMonitor(latency_budget_ms=50.0)
+    service = StreamingService(
+        build_fleet(detector, quiet, threshold), max_queue=16, slo=slo
+    )
+    service.run(quiet.exposures, quiet.timestamps)
+    print(f"\n{slo.format()}")
+    print(f"fast-burning SLOs: {slo.burning() or 'none'}")
+
+
+if __name__ == "__main__":
+    main()

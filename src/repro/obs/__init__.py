@@ -18,7 +18,14 @@ with telemetry on or off.
 * :mod:`~repro.obs.export` — Prometheus text exposition, JSONL snapshot
   dumps and the periodic flusher the streaming service drives;
 * :mod:`~repro.obs.health` — the health-snapshot dataclasses behind
-  ``FleetManager.health()`` / ``StreamingService.health()``.
+  ``FleetManager.health()`` / ``StreamingService.health()``;
+* :mod:`~repro.obs.drift` — per-star streaming score-distribution drift
+  detection against a calibration-time reference (PSI/KS with hysteresis);
+* :mod:`~repro.obs.slo` — rolling-window SLO tracking with error-budget
+  burn rates over the serving layer's always-on accounting;
+* :mod:`~repro.obs.recorder` — the incident flight recorder: a bounded
+  ring of recent frames dumped to npz on drift trips, SLO burn or alert
+  storms, replayable bit-identically for post-mortems.
 
 Typical session::
 
@@ -69,6 +76,9 @@ from .export import (
     write_jsonl_snapshot,
 )
 from .health import FleetHealth, ServiceHealth, latency_percentiles
+from .drift import DriftMonitor, DriftVerdict, calibrate_drift_monitor
+from .slo import SLO, SLOMonitor, SLOStatus
+from .recorder import FlightRecord, FlightRecorder
 
 __all__ = [
     "LATENCY_BUCKETS",
@@ -104,4 +114,12 @@ __all__ = [
     "FleetHealth",
     "ServiceHealth",
     "latency_percentiles",
+    "DriftMonitor",
+    "DriftVerdict",
+    "calibrate_drift_monitor",
+    "SLO",
+    "SLOMonitor",
+    "SLOStatus",
+    "FlightRecord",
+    "FlightRecorder",
 ]

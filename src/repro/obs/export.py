@@ -58,10 +58,38 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``\\n``, ``\"``."""
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`_escape_label_value` (single left-to-right pass)."""
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+            if nxt in ('"', "\\"):
+                out.append(nxt)
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
 def _format_labels(names: tuple[str, ...], values: tuple[str, ...]) -> str:
     if not names:
         return ""
-    inner = ",".join(f'{name}="{value}"' for name, value in zip(names, values))
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in zip(names, values)
+    )
     return "{" + inner + "}"
 
 
@@ -109,10 +137,17 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+# Label values are quoted strings with backslash escapes, so the label block
+# may legitimately contain ``}`` and ``"`` *inside* quotes — the patterns
+# must skip quoted regions instead of stopping at the first ``}``.
 _SAMPLE_PATTERN = re.compile(
-    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$"
+    r"^(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?'
+    r"\s+(?P<value>\S+)$"
 )
-_LABEL_PATTERN = re.compile(r'(?P<name>[A-Za-z_][A-Za-z0-9_]*)="(?P<value>[^"]*)"')
+_LABEL_PATTERN = re.compile(
+    r'(?P<name>[A-Za-z_][A-Za-z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
 
 
 def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
@@ -132,7 +167,7 @@ def parse_prometheus(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]],
             raise ValueError(f"unparseable exposition line: {line!r}")
         labels = tuple(
             sorted(
-                (m.group("name"), m.group("value"))
+                (m.group("name"), _unescape_label_value(m.group("value")))
                 for m in _LABEL_PATTERN.finditer(match.group("labels") or "")
             )
         )

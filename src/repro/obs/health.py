@@ -61,6 +61,7 @@ class FleetHealth:
     shard_gap_rates: list[float] = field(default_factory=list)  # per shard
     p50_step_ms: float = float("nan")
     p99_step_ms: float = float("nan")
+    drift_tripped_stars: int = 0        # stars the drift monitor holds tripped
 
     @property
     def healthy(self) -> bool:
@@ -81,6 +82,7 @@ class FleetHealth:
             f"stars={self.num_stars}/{self.num_shards} shards backend={self.backend} "
             f"mode={self.threshold_mode} alerts={self.alerts_fired} "
             f"refits={self.threshold_refits} rearming={self.rearm_suppressed_stars} "
+            f"drift_tripped={self.drift_tripped_stars} "
             f"dropouts={self.dropouts}/{self.rejoins} gap_rates=[{gaps}] "
             f"latency p50={self.p50_step_ms:.2f}ms p99={self.p99_step_ms:.2f}ms "
             f"{'healthy' if self.healthy else 'DEGRADED'}"

@@ -1,0 +1,353 @@
+"""Incident flight recorder: a black box for the serving fleet.
+
+When something goes wrong mid-night — a drift trip, an SLO fast-burn, an
+alert storm — the question is always "what did the fleet actually see?",
+and by the time anyone asks, the evidence has scrolled out of every buffer.
+:class:`FlightRecorder` keeps it: a bounded ring of the most recent frames
+(the **raw pre-scaling rows**, exactly as fed to ``step``) together with
+every tick's scores, per-star thresholds, labels and fired alerts.  On
+trigger it freezes the ring into an immutable :class:`FlightRecord` and —
+when a ``dump_dir`` is configured — writes it to one compressed ``.npz``.
+
+The record is replayable: because it stores the raw input rows and
+timestamps, :meth:`FlightRecord.replay` can drive a *fresh* identically
+constructed fleet through the captured frames and compare tick-for-tick
+against the captured outputs with :class:`~repro.simulation.ReplayTrace`
+semantics (exact ints, NaN-equal floats).  When the ring covered the
+incident fleet's whole history the replay is **bit-identical** — the
+post-mortem runs the actual incident, not a reconstruction.  A ring that
+wrapped (frames older than ``capacity`` lost) still replays, but the fresh
+fleet starts from seed context rather than the incident's warm state, so
+treat partial-ring replays as triage evidence, not as ground truth.
+
+Triggers are explicit (:meth:`FlightRecorder.trigger` from drift monitors
+or SLO burn) or built in (an alert-storm watchdog over the recent tick
+window).  A cooldown keeps one incident from shredding the ring into a
+stack of near-identical dumps.
+
+Like the rest of :mod:`repro.obs` the recorder is passive: it copies what
+it is shown and never touches the scoring path, so serving outputs are
+bit-identical with a recorder attached or not.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import deque
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.serialization import load_arrays, save_arrays
+from .metrics import get_registry
+
+__all__ = ["FlightRecorder", "FlightRecord"]
+
+logger = logging.getLogger("repro.obs.recorder")
+
+_ARRAY_FIELDS = (
+    "seqs",
+    "steps",
+    "timestamps",
+    "rows",
+    "scores",
+    "thresholds",
+    "labels",
+    "alert_seqs",
+    "alert_steps",
+    "alert_stars",
+    "alert_scores",
+    "alert_thresholds",
+)
+
+
+@dataclass
+class FlightRecord:
+    """One frozen flight-recorder dump (see module docstring).
+
+    ``rows`` are the raw pre-scaling exposures; ``timestamps`` encode
+    timeline auto-advance ticks (``timestamp=None``) as NaN and
+    :meth:`replay` decodes them back, so the replayed timeline matches the
+    incident's exactly.
+    """
+
+    reason: str
+    trigger_step: int
+    seqs: np.ndarray              # (P,) int64 frame identities (fleet steps by default)
+    steps: np.ndarray             # (P,) int64 fleet step counters
+    timestamps: np.ndarray        # (P,) float64, NaN = auto-advance tick
+    rows: np.ndarray              # (P, S, N) float64 raw input rows
+    scores: np.ndarray            # (P, S, N) float64
+    thresholds: np.ndarray        # (P, S, N) float64
+    labels: np.ndarray            # (P, S, N) int64
+    alert_seqs: np.ndarray        # (A,) int64
+    alert_steps: np.ndarray       # (A,) int64
+    alert_stars: np.ndarray       # (A,) int64
+    alert_scores: np.ndarray      # (A,) float64
+    alert_thresholds: np.ndarray  # (A,) float64
+    path: Path | None = None      # where the dump landed, when written
+
+    @property
+    def num_ticks(self) -> int:
+        return int(self.seqs.size)
+
+    @property
+    def num_alerts(self) -> int:
+        return int(self.alert_seqs.size)
+
+    def format(self) -> str:
+        return (
+            f"flight[{self.reason}] trigger_step={self.trigger_step} "
+            f"ticks={self.num_ticks} alerts={self.num_alerts}"
+        )
+
+    __str__ = format
+
+    # ------------------------------------------------------------------
+    def to_trace(self):
+        """The captured outputs as a :class:`~repro.simulation.ReplayTrace`.
+
+        The import is deferred: :mod:`repro.simulation` imports
+        :mod:`repro.obs`, so a module-level import here would be circular.
+        """
+        from ..simulation.trace import ReplayTrace
+
+        return ReplayTrace(
+            seqs=self.seqs.copy(),
+            steps=self.steps.copy(),
+            timestamps=self.timestamps.copy(),
+            scores=self.scores.copy(),
+            thresholds=self.thresholds.copy(),
+            labels=self.labels.copy(),
+            alert_seqs=self.alert_seqs.copy(),
+            alert_steps=self.alert_steps.copy(),
+            alert_stars=self.alert_stars.copy(),
+            alert_scores=self.alert_scores.copy(),
+            alert_thresholds=self.alert_thresholds.copy(),
+        )
+
+    def replay(self, fleet, rtol: float = 0.0, atol: float = 0.0):
+        """Re-run the captured frames through ``fleet`` and diff the traces.
+
+        Delegates to :func:`repro.simulation.replay_flight_record`; returns
+        ``(trace, mismatches)`` where an empty mismatch list means the
+        post-mortem run reproduced the incident bit-for-bit (at the given
+        tolerances).
+        """
+        from ..simulation.replay import replay_flight_record
+
+        return replay_flight_record(fleet, self, rtol=rtol, atol=atol)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Write the record as one compressed npz artifact."""
+        payload = {name: getattr(self, name) for name in _ARRAY_FIELDS}
+        payload["reason"] = np.asarray(self.reason)
+        payload["trigger_step"] = np.asarray(self.trigger_step, dtype=np.int64)
+        return save_arrays(path, payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FlightRecord":
+        """Load a record saved by :meth:`save`; validates the key set."""
+        arrays = load_arrays(path)
+        names = {*_ARRAY_FIELDS, "reason", "trigger_step"}
+        missing = names - set(arrays)
+        extra = set(arrays) - names
+        if missing or extra:
+            raise ValueError(
+                f"flight record {path} has wrong keys: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        return cls(
+            reason=str(arrays["reason"]),
+            trigger_step=int(arrays["trigger_step"]),
+            path=Path(path),
+            **{name: arrays[name] for name in _ARRAY_FIELDS},
+        )
+
+
+@dataclass
+class _Frame:
+    """One buffered tick (internal; arrays are private copies)."""
+
+    seq: int
+    step: int
+    timestamp: float
+    rows: np.ndarray
+    scores: np.ndarray
+    thresholds: np.ndarray
+    labels: np.ndarray
+    alerts: list = field(default_factory=list)
+
+
+class FlightRecorder:
+    """Bounded ring of recent serving frames, dumped on trigger.
+
+    Parameters
+    ----------
+    capacity:
+        Frames retained.  Size it to the window you want to be able to
+        post-mortem — a full night for bit-identical replays, a few hundred
+        ticks for triage evidence on long-running fleets.
+    dump_dir:
+        When set, every trigger also writes the frozen record to
+        ``<dump_dir>/flight-<reason>-step<N>.npz`` (directory created on
+        first dump).  Without it, dumps stay in-process on :attr:`records`.
+    cooldown:
+        Minimum ticks between dumps; re-triggers inside the window are
+        counted (``suppressed_triggers``) but produce no record, so one
+        sustained incident yields one dump, not one per check.
+    alert_storm_window / alert_storm_threshold:
+        Built-in trigger: when the total alerts fired over the last
+        ``alert_storm_window`` ticks reaches ``alert_storm_threshold``, the
+        recorder dumps with reason ``"alert_storm"``.  Set the threshold to
+        ``None`` to disable the watchdog.
+    registry:
+        Telemetry sink; ``None`` captures the process default at
+        construction (a no-op until :func:`repro.obs.enable_telemetry`).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        dump_dir: str | Path | None = None,
+        cooldown: int = 256,
+        alert_storm_window: int = 32,
+        alert_storm_threshold: int | None = 64,
+        registry=None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if alert_storm_window < 1:
+            raise ValueError("alert_storm_window must be positive")
+        if alert_storm_threshold is not None and alert_storm_threshold < 1:
+            raise ValueError("alert_storm_threshold must be positive (or None to disable)")
+        self.capacity = int(capacity)
+        self.dump_dir = None if dump_dir is None else Path(dump_dir)
+        self.cooldown = int(cooldown)
+        self.alert_storm_window = int(alert_storm_window)
+        self.alert_storm_threshold = alert_storm_threshold
+        self._frames: deque[_Frame] = deque(maxlen=self.capacity)
+        self._alert_counts: deque[int] = deque(maxlen=self.alert_storm_window)
+        self._alerts_in_window = 0
+        self._ticks = 0
+        self._last_dump_tick: int | None = None
+        self.records: list[FlightRecord] = []
+        self.suppressed_triggers = 0
+        registry = get_registry() if registry is None else registry
+        self._m_dumps = registry.counter(
+            "flight_dumps_total", "Flight-recorder dumps, by trigger reason",
+            labels=("reason",),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_frames(self) -> int:
+        return len(self._frames)
+
+    @property
+    def ticks_recorded(self) -> int:
+        return self._ticks
+
+    # ------------------------------------------------------------------
+    def record(self, rows, timestamp, result, seq: int | None = None) -> FlightRecord | None:
+        """Buffer one tick; returns a record iff the alert-storm watchdog fired.
+
+        ``rows`` are the raw exposure rows as handed to the scorer (copied
+        here — the recorder never aliases caller memory); ``result`` is the
+        tick's ``FleetStepResult``-shaped output.  ``seq`` is an optional
+        external frame identity (e.g. a scenario exposure index); it
+        defaults to the scorer's own step counter.
+        """
+        scores = np.asarray(result.scores, dtype=np.float64)
+        thresholds = getattr(result, "thresholds", None)
+        if thresholds is None:
+            thresholds = np.full(scores.shape, float(result.threshold))
+        alerts = [
+            (int(alert.star), float(alert.score), float(alert.threshold))
+            for alert in getattr(result, "alerts", ()) or ()
+        ]
+        step = int(result.step)
+        self._frames.append(
+            _Frame(
+                seq=step if seq is None else int(seq),
+                step=step,
+                timestamp=np.nan if timestamp is None else float(timestamp),
+                rows=np.array(rows, dtype=np.float64, copy=True),
+                scores=scores.copy(),
+                thresholds=np.asarray(thresholds, dtype=np.float64).copy(),
+                labels=np.asarray(result.labels, dtype=np.int64).copy(),
+                alerts=alerts,
+            )
+        )
+        self._ticks += 1
+        evicted = 0
+        if len(self._alert_counts) == self.alert_storm_window:
+            evicted = self._alert_counts[0]
+        self._alert_counts.append(len(alerts))
+        self._alerts_in_window += len(alerts) - evicted
+        if (
+            self.alert_storm_threshold is not None
+            and self._alerts_in_window >= self.alert_storm_threshold
+        ):
+            return self.trigger("alert_storm")
+        return None
+
+    # ------------------------------------------------------------------
+    def trigger(self, reason: str) -> FlightRecord | None:
+        """Freeze the ring into a :class:`FlightRecord` (cooldown permitting).
+
+        Returns ``None`` when the ring is empty or a dump landed within the
+        last ``cooldown`` ticks — sustained incidents produce one record,
+        not a record per failing check.
+        """
+        if not self._frames:
+            return None
+        if (
+            self._last_dump_tick is not None
+            and self._ticks - self._last_dump_tick < self.cooldown
+        ):
+            self.suppressed_triggers += 1
+            return None
+        self._last_dump_tick = self._ticks
+        record = self._freeze(reason)
+        self.records.append(record)
+        self._m_dumps.labels(reason=reason).inc()
+        if self.dump_dir is not None:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            path = self.dump_dir / f"flight-{reason}-step{record.trigger_step:06d}.npz"
+            record.save(path)
+            record.path = path
+        logger.warning(
+            "flight_dump reason=%s trigger_step=%d ticks=%d alerts=%d path=%s",
+            reason, record.trigger_step, record.num_ticks, record.num_alerts,
+            record.path,
+        )
+        return record
+
+    def _freeze(self, reason: str) -> FlightRecord:
+        frames = list(self._frames)
+        alert_rows = [
+            (frame.seq, frame.step, star, score, threshold)
+            for frame in frames
+            for star, score, threshold in frame.alerts
+        ]
+        return FlightRecord(
+            reason=str(reason),
+            trigger_step=frames[-1].step,
+            seqs=np.asarray([frame.seq for frame in frames], dtype=np.int64),
+            steps=np.asarray([frame.step for frame in frames], dtype=np.int64),
+            timestamps=np.asarray([frame.timestamp for frame in frames], dtype=np.float64),
+            rows=np.stack([frame.rows for frame in frames]),
+            scores=np.stack([frame.scores for frame in frames]),
+            thresholds=np.stack([frame.thresholds for frame in frames]),
+            labels=np.stack([frame.labels for frame in frames]),
+            alert_seqs=np.asarray([row[0] for row in alert_rows], dtype=np.int64),
+            alert_steps=np.asarray([row[1] for row in alert_rows], dtype=np.int64),
+            alert_stars=np.asarray([row[2] for row in alert_rows], dtype=np.int64),
+            alert_scores=np.asarray([row[3] for row in alert_rows], dtype=np.float64),
+            alert_thresholds=np.asarray([row[4] for row in alert_rows], dtype=np.float64),
+        )

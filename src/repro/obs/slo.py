@@ -1,0 +1,319 @@
+"""Rolling-window SLO tracking with error-budget burn rates.
+
+Raw counters say what happened; an SLO says whether it is *acceptable*.
+This module turns the always-on accounting the serving layer already keeps
+(tick latencies, queue drops, alert counts, POT re-fit outcomes) into
+service-level objectives an operator can page on:
+
+* each :class:`SLO` is a rolling window of good/bad events with a target
+  ``objective`` (e.g. "99% of ticks inside the latency budget");
+* ``error budget`` is the allowed bad fraction (``1 - objective``);
+  ``burn_rate`` is how fast the window is consuming it — 1.0 means burning
+  exactly at budget, 4.0 means the budget for the window is gone in a
+  quarter of it (the classic fast-burn page threshold);
+* :class:`SLOMonitor` bundles the four serving SLOs (tick-latency p99
+  budget, ingest drop rate, alert rate per 1k stars, POT refit-failure
+  rate), feeds them from :meth:`~SLOMonitor.observe_tick` /
+  :meth:`~SLOMonitor.record_ingest`, and exports compliance and burn as
+  gauges through the captured :class:`~repro.obs.metrics.MetricsRegistry`
+  — so the existing Prometheus/JSONL exporters pick them up with no new
+  plumbing.
+
+Everything is O(1) per event: each window is a fixed ring with running
+totals, no percentile sorts, no allocation on the hot path.  Like the rest
+of :mod:`repro.obs`, the monitor only observes — attach or detach it and
+scores, thresholds and alerts are bit-identical.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from .metrics import get_registry
+
+__all__ = ["SLO", "SLOMonitor", "SLOStatus"]
+
+logger = logging.getLogger("repro.obs.slo")
+
+
+class SLOStatus:
+    """One SLO's window snapshot (plain data, operator-facing)."""
+
+    __slots__ = ("name", "objective", "events", "bad", "compliance", "burn_rate", "breached")
+
+    def __init__(self, name, objective, events, bad, compliance, burn_rate, breached):
+        self.name = name
+        self.objective = objective
+        self.events = events
+        self.bad = bad
+        self.compliance = compliance
+        self.burn_rate = burn_rate
+        self.breached = breached
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "objective": self.objective,
+            "events": self.events,
+            "bad": self.bad,
+            "compliance": self.compliance,
+            "burn_rate": self.burn_rate,
+            "breached": self.breached,
+        }
+
+    def format(self) -> str:
+        state = "BREACH" if self.breached else "ok"
+        return (
+            f"slo[{self.name}] {state} compliance={self.compliance:.4f} "
+            f"(objective {self.objective:.4f}) burn={self.burn_rate:.2f}x "
+            f"bad={self.bad}/{self.events}"
+        )
+
+    __str__ = format
+
+
+class SLO:
+    """A rolling good/bad ratio against a target objective.
+
+    Parameters
+    ----------
+    name:
+        Stable identifier; becomes the ``slo`` label on exported gauges.
+    objective:
+        Target good fraction over the window, in ``(0, 1)`` — e.g. 0.99
+        means at most 1% of events may be bad before the SLO is breached.
+    window:
+        Events retained.  The window is the unit burn rates are quoted in:
+        ``burn_rate == 1.0`` consumes exactly one window's error budget per
+        window.
+    """
+
+    __slots__ = ("name", "objective", "window", "_good", "_bad", "_ring", "_head", "_filled")
+
+    def __init__(self, name: str, objective: float, window: int = 1024):
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.name = name
+        self.objective = float(objective)
+        self.window = int(window)
+        # Ring of per-event (good, bad) counts plus running totals: O(1)
+        # record and O(1) status, regardless of window size.
+        self._ring = np.zeros((self.window, 2), dtype=np.int64)
+        self._head = 0
+        self._filled = 0
+        self._good = 0
+        self._bad = 0
+
+    def record(self, good: int = 0, bad: int = 0) -> None:
+        """Add one event (or one tick's batch of events) to the window."""
+        if good < 0 or bad < 0:
+            raise ValueError("good and bad counts must be non-negative")
+        evicted = self._ring[self._head]
+        self._good -= int(evicted[0])
+        self._bad -= int(evicted[1])
+        self._ring[self._head, 0] = good
+        self._ring[self._head, 1] = bad
+        self._good += good
+        self._bad += bad
+        self._head = (self._head + 1) % self.window
+        self._filled = min(self._filled + 1, self.window)
+
+    @property
+    def events(self) -> int:
+        return self._good + self._bad
+
+    @property
+    def compliance(self) -> float:
+        """Good fraction over the window (1.0 while empty — nothing failed)."""
+        total = self._good + self._bad
+        return 1.0 if total == 0 else self._good / total
+
+    @property
+    def burn_rate(self) -> float:
+        """Error-budget consumption speed: bad fraction over allowed fraction."""
+        total = self._good + self._bad
+        if total == 0:
+            return 0.0
+        return (self._bad / total) / (1.0 - self.objective)
+
+    @property
+    def breached(self) -> bool:
+        return self.compliance < self.objective
+
+    def status(self) -> SLOStatus:
+        return SLOStatus(
+            name=self.name,
+            objective=self.objective,
+            events=self.events,
+            bad=self._bad,
+            compliance=self.compliance,
+            burn_rate=self.burn_rate,
+            breached=self.breached,
+        )
+
+
+class SLOMonitor:
+    """The serving fleet's four SLOs, fed from always-on accounting.
+
+    Wire it into a :class:`~repro.streaming.service.StreamingService` via
+    its ``slo=`` parameter; the service then calls
+    :meth:`record_ingest` on every submit/shed outcome and
+    :meth:`observe_tick` on every drained step.  POT refit failures are
+    reported by :meth:`record_refit_failure` (the fleet's refit counter
+    provides the successes).
+
+    Parameters
+    ----------
+    latency_budget_ms:
+        Per-tick wall-clock budget; a tick is *good* when it finishes
+        inside it.  With the default 0.99 objective this is exactly a
+        "p99 ≤ budget" SLO, tracked event-by-event instead of by sorting.
+    latency_objective, ingest_objective, alert_objective_per_1k,
+    refit_objective:
+        Targets for the four windows.  ``alert_objective_per_1k`` is the
+        alert budget per 1000 star-observations (alert *volume*, not
+        accuracy: a detector paging 10x its budget is drowning operators
+        whether or not each alert is real).
+    window:
+        Rolling window length (events) shared by all four SLOs.
+    burn_alert:
+        Burn-rate threshold above which :meth:`burning` names the SLO —
+        the hook serving uses to trigger the flight recorder.  The classic
+        fast-burn page threshold of 4x is the default.
+    registry:
+        Telemetry sink; ``None`` captures the process default at
+        construction (a no-op until :func:`repro.obs.enable_telemetry`).
+    """
+
+    TICK_LATENCY = "tick_latency"
+    INGEST = "ingest"
+    ALERT_RATE = "alert_rate"
+    POT_REFIT = "pot_refit"
+
+    def __init__(
+        self,
+        latency_budget_ms: float = 250.0,
+        latency_objective: float = 0.99,
+        ingest_objective: float = 0.999,
+        alert_objective_per_1k: float = 5.0,
+        refit_objective: float = 0.999,
+        window: int = 1024,
+        burn_alert: float = 4.0,
+        registry=None,
+    ):
+        if latency_budget_ms <= 0:
+            raise ValueError("latency_budget_ms must be positive")
+        if not 0.0 < alert_objective_per_1k < 1000.0:
+            raise ValueError("alert_objective_per_1k must be in (0, 1000)")
+        if burn_alert <= 0:
+            raise ValueError("burn_alert must be positive")
+        self.latency_budget_ms = float(latency_budget_ms)
+        self.burn_alert = float(burn_alert)
+        self.slos: dict[str, SLO] = {
+            self.TICK_LATENCY: SLO(self.TICK_LATENCY, latency_objective, window),
+            self.INGEST: SLO(self.INGEST, ingest_objective, window),
+            self.ALERT_RATE: SLO(
+                self.ALERT_RATE, 1.0 - alert_objective_per_1k / 1000.0, window
+            ),
+            self.POT_REFIT: SLO(self.POT_REFIT, refit_objective, window),
+        }
+        self._last_refits = 0
+        self._last_refit_failures = 0
+        registry = get_registry() if registry is None else registry
+        self._enabled = bool(registry.enabled)
+        self._m_compliance = registry.gauge(
+            "slo_compliance", "Rolling-window good fraction per SLO", labels=("slo",)
+        )
+        self._m_burn = registry.gauge(
+            "slo_burn_rate", "Error-budget burn rate per SLO (1.0 = at budget)",
+            labels=("slo",),
+        )
+        self._m_breached = registry.gauge(
+            "slo_breached", "1 when the SLO's rolling window is out of objective",
+            labels=("slo",),
+        )
+
+    # ------------------------------------------------------------------
+    # feeding the windows
+    # ------------------------------------------------------------------
+    def observe_tick(
+        self,
+        latency_seconds: float,
+        result=None,
+        refits: int | None = None,
+        refit_failures: int | None = None,
+    ) -> None:
+        """Account one drained scoring step.
+
+        ``result`` is the tick's ``FleetStepResult`` (or any object with
+        ``scores`` and ``alerts``); it feeds the alert-rate window with this
+        tick's star count and alert count.  ``refits`` and
+        ``refit_failures`` are the fleet's *cumulative* counters — deltas
+        feed the refit SLO's good and bad sides (a failed re-fit aborts its
+        tick, so the failure is accounted on the next observed one).
+        """
+        within = float(latency_seconds) * 1e3 <= self.latency_budget_ms
+        self.slos[self.TICK_LATENCY].record(good=int(within), bad=int(not within))
+        if result is not None:
+            scores = getattr(result, "scores", None)
+            alerts = len(getattr(result, "alerts", ()) or ())
+            stars = int(np.asarray(scores).size) if scores is not None else 0
+            if stars:
+                self.slos[self.ALERT_RATE].record(
+                    good=max(stars - alerts, 0), bad=min(alerts, stars)
+                )
+        if refits is not None:
+            delta = int(refits) - self._last_refits
+            if delta > 0:
+                self.slos[self.POT_REFIT].record(good=delta)
+            self._last_refits = int(refits)
+        if refit_failures is not None:
+            delta = int(refit_failures) - self._last_refit_failures
+            if delta > 0:
+                self.slos[self.POT_REFIT].record(bad=delta)
+            self._last_refit_failures = int(refit_failures)
+        self._export()
+
+    def record_ingest(self, accepted: int = 0, dropped: int = 0) -> None:
+        """Account submit/shed outcomes (accepted = good, dropped = bad)."""
+        if accepted or dropped:
+            self.slos[self.INGEST].record(good=accepted, bad=dropped)
+
+    def record_refit_failure(self, count: int = 1) -> None:
+        """Account failed adaptive-POT re-fits against the refit SLO."""
+        self.slos[self.POT_REFIT].record(bad=count)
+
+    # ------------------------------------------------------------------
+    # reading the windows
+    # ------------------------------------------------------------------
+    def status(self) -> dict[str, SLOStatus]:
+        return {name: slo.status() for name, slo in self.slos.items()}
+
+    def burning(self) -> list[str]:
+        """Names of SLOs whose burn rate exceeds ``burn_alert`` right now."""
+        return [
+            name
+            for name, slo in self.slos.items()
+            if slo.events and slo.burn_rate >= self.burn_alert
+        ]
+
+    def summary(self) -> dict:
+        """JSONL-friendly snapshot of every SLO window."""
+        return {name: status.to_dict() for name, status in self.status().items()}
+
+    def format(self) -> str:
+        return "\n".join(str(status) for status in self.status().values())
+
+    __str__ = format
+
+    def _export(self) -> None:
+        if not self._enabled:
+            return
+        for name, slo in self.slos.items():
+            self._m_compliance.labels(slo=name).set(slo.compliance)
+            self._m_burn.labels(slo=name).set(slo.burn_rate)
+            self._m_breached.labels(slo=name).set(1.0 if slo.breached else 0.0)

@@ -14,7 +14,10 @@ it, and on nothing else.
 * :mod:`~repro.simulation.replay` — :class:`ReplayHarness`, which drives a
   fleet tick by tick over a scenario's arrival schedule and scores the
   fired alerts (event-level precision/recall, detection-latency
-  distribution, quiet-star false-alert budget);
+  distribution, quiet-star false-alert budget), plus
+  :func:`replay_flight_record`, which re-runs a
+  :class:`repro.obs.FlightRecord` incident dump through a fresh fleet and
+  diffs it tick-for-tick against what the incident actually produced;
 * :mod:`~repro.simulation.trace` — :class:`ReplayTrace` golden-trace
   record/replay: per-tick scores/thresholds/alerts serialised to npz and
   diffed against a committed known-good trace for regression pinning.
@@ -39,7 +42,13 @@ from .scenario import (
     render_star_profiles,
     sample_star_profiles,
 )
-from .replay import EventOutcome, ReplayHarness, ReplayReport, score_replay
+from .replay import (
+    EventOutcome,
+    ReplayHarness,
+    ReplayReport,
+    replay_flight_record,
+    score_replay,
+)
 from .trace import ReplayTrace, TraceMismatch
 
 __all__ = [
@@ -61,6 +70,7 @@ __all__ = [
     "EventOutcome",
     "ReplayHarness",
     "ReplayReport",
+    "replay_flight_record",
     "score_replay",
     "ReplayTrace",
     "TraceMismatch",

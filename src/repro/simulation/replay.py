@@ -33,7 +33,13 @@ from ..obs.tracing import trace as trace_span
 from .scenario import Scenario, ScenarioEvent
 from .trace import ReplayTrace
 
-__all__ = ["ReplayHarness", "ReplayReport", "EventOutcome", "score_replay"]
+__all__ = [
+    "ReplayHarness",
+    "ReplayReport",
+    "EventOutcome",
+    "score_replay",
+    "replay_flight_record",
+]
 
 logger = logging.getLogger("repro.simulation.replay")
 
@@ -146,6 +152,72 @@ def score_replay(
         outcomes=outcomes,
         recall_by_kind={kind: (sum(flags), len(flags)) for kind, flags in by_kind.items()},
     )
+
+
+def replay_flight_record(fleet, record, rtol: float = 0.0, atol: float = 0.0):
+    """Re-run a flight-recorder dump through a fresh fleet and diff the traces.
+
+    ``record`` is a :class:`repro.obs.FlightRecord` (the incident black
+    box); ``fleet`` is a *fresh* scorer built the way the incident fleet
+    was — same detector, shard count, threshold calibration and
+    construction flags.  Each captured frame's **raw rows** and timestamp
+    (NaN decodes back to ``None``, so auto-advance ticks stay
+    auto-advance) are stepped through ``fleet`` and collected into a
+    :class:`~repro.simulation.trace.ReplayTrace` carrying the record's
+    frame identities.
+
+    Returns ``(trace, mismatches)`` where ``mismatches`` is
+    ``record.to_trace().diff(trace)`` — empty means the post-mortem run
+    reproduced the incident bit-for-bit (at the given tolerances).  That
+    guarantee holds when the record covers the incident fleet's whole
+    history (ring never wrapped); a wrapped ring replays from seed context
+    instead of the incident's warm state, so expect leading-tick
+    mismatches and treat the result as triage evidence.
+    """
+    if not hasattr(fleet, "step"):
+        raise TypeError("fleet must expose step(rows, timestamp)")
+    seqs: list[int] = []
+    steps: list[int] = []
+    scores: list[np.ndarray] = []
+    thresholds: list[np.ndarray] = []
+    labels: list[np.ndarray] = []
+    alert_rows: list[tuple[int, int, int, float, float]] = []
+    shape = record.scores.shape[1:]
+    for tick in range(record.num_ticks):
+        timestamp = record.timestamps[tick]
+        with trace_span("replay.flight_frame"):
+            result = fleet.step(
+                record.rows[tick],
+                None if np.isnan(timestamp) else float(timestamp),
+            )
+        seq = int(record.seqs[tick])
+        seqs.append(seq)
+        steps.append(result.step)
+        scores.append(np.asarray(result.scores, dtype=np.float64).copy())
+        per_star = result.thresholds
+        if per_star is None:
+            per_star = np.full(shape, result.threshold)
+        thresholds.append(np.asarray(per_star, dtype=np.float64).copy())
+        labels.append(np.asarray(result.labels, dtype=np.int64).copy())
+        for alert in result.alerts:
+            alert_rows.append(
+                (seq, result.step, alert.star, alert.score, alert.threshold)
+            )
+    trace = ReplayTrace(
+        seqs=np.asarray(seqs, dtype=np.int64),
+        steps=np.asarray(steps, dtype=np.int64),
+        timestamps=record.timestamps.copy(),
+        scores=np.stack(scores) if scores else np.empty((0, *shape)),
+        thresholds=np.stack(thresholds) if thresholds else np.empty((0, *shape)),
+        labels=np.stack(labels) if labels else np.empty((0, *shape), dtype=np.int64),
+        alert_seqs=np.asarray([row[0] for row in alert_rows], dtype=np.int64),
+        alert_steps=np.asarray([row[1] for row in alert_rows], dtype=np.int64),
+        alert_stars=np.asarray([row[2] for row in alert_rows], dtype=np.int64),
+        alert_scores=np.asarray([row[3] for row in alert_rows], dtype=np.float64),
+        alert_thresholds=np.asarray([row[4] for row in alert_rows], dtype=np.float64),
+    )
+    mismatches = record.to_trace().diff(trace, rtol=rtol, atol=atol)
+    return trace, mismatches
 
 
 class ReplayHarness:

@@ -124,6 +124,20 @@ class FleetManager:
         :func:`repro.obs.enable_telemetry` runs.  Telemetry never perturbs
         scores, thresholds or alerts, and :meth:`health` works (from the
         always-on cheap internal accounting) either way.
+    drift_monitor:
+        Optional fitted :class:`repro.obs.DriftMonitor` covering exactly
+        this fleet's stars (e.g. from
+        :func:`repro.obs.calibrate_drift_monitor` over the calibration
+        scores).  Each tick's masked score vector feeds one vectorised
+        ``update``; stars that newly trip trigger the flight recorder (when
+        attached).  The monitor only observes — scores, thresholds and
+        alerts are bit-identical with or without it.
+    recorder:
+        Optional :class:`repro.obs.FlightRecorder`.  Every tick's raw rows
+        and outputs are buffered in its bounded ring; drift trips (and the
+        recorder's own alert-storm watchdog) freeze the ring into a
+        replayable :class:`repro.obs.FlightRecord`.  Passive like the drift
+        monitor.
     """
 
     def __init__(
@@ -140,6 +154,8 @@ class FleetManager:
         threshold: float | None = None,
         registry=None,
         tracer=None,
+        drift_monitor=None,
+        recorder=None,
     ):
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
@@ -175,6 +191,13 @@ class FleetManager:
                 refit_interval=pot_refit_interval,
                 max_excesses=pot_max_excesses,
             )
+        if drift_monitor is not None and drift_monitor.num_stars != num_shards * model.num_variates:
+            raise ValueError(
+                f"drift monitor covers {drift_monitor.num_stars} stars, "
+                f"fleet serves {num_shards * model.num_variates}"
+            )
+        self.drift_monitor = drift_monitor
+        self.recorder = recorder
         if rearm_min_gap < 0:
             raise ValueError("rearm_min_gap must be non-negative")
         self.rearm_min_gap = rearm_min_gap
@@ -263,6 +286,11 @@ class FleetManager:
         """Fleet-wide adaptive GPD re-fit count (0 in global mode)."""
         return 0 if self.adaptive_pot is None else self.adaptive_pot.total_refits
 
+    @property
+    def threshold_refit_failures(self) -> int:
+        """Fleet-wide adaptive GPD re-fit *failures* (0 in global mode)."""
+        return 0 if self.adaptive_pot is None else self.adaptive_pot.refit_failures
+
     # ------------------------------------------------------------------
     def threshold_state(self) -> dict | None:
         """The per-star threshold calibration as flat arrays, or ``None``.
@@ -288,6 +316,36 @@ class FleetManager:
             )
         self.adaptive_pot = pot
         self.threshold_mode = "per_star"
+
+    # ------------------------------------------------------------------
+    def drift_state(self) -> dict | None:
+        """The drift monitor's reference sketch as flat arrays, or ``None``.
+
+        The dict round-trips through :meth:`load_drift_state` (and through
+        ``ModelRegistry.publish(..., drift_reference=...)`` / ``deploy``),
+        so a newly deployed fleet monitors against the same calibration
+        snapshot the published model was referenced to.
+        """
+        return None if self.drift_monitor is None else self.drift_monitor.state_dict()
+
+    def load_drift_state(self, state: dict) -> None:
+        """Attach a drift monitor rebuilt from :meth:`drift_state` output.
+
+        The reference must describe exactly this fleet's ``num_stars``.
+        Live sketches start fresh (they re-warm within the monitor's
+        ``min_observations`` ticks); only the calibration-time reference is
+        carried over — which is the point: drift is measured against the
+        published model's calibration, not against whatever the previous
+        process had lately seen.
+        """
+        from ..obs.drift import DriftMonitor
+
+        monitor = DriftMonitor.from_state_dict(state)
+        if monitor.num_stars != self.num_stars:
+            raise ValueError(
+                f"drift state covers {monitor.num_stars} stars, fleet serves {self.num_stars}"
+            )
+        self.drift_monitor = monitor
 
     # ------------------------------------------------------------------
     def swap_model(self, source, threshold: float | None = None) -> None:
@@ -375,6 +433,9 @@ class FleetManager:
             shard_gap_rates=[float(rate) for rate in gap_rates],
             p50_step_ms=p50,
             p99_step_ms=p99,
+            drift_tripped_stars=(
+                0 if self.drift_monitor is None else self.drift_monitor.tripped_stars
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -399,6 +460,17 @@ class FleetManager:
         self._latencies.append(elapsed)
         self._m_ticks.inc()
         self._m_step_seconds.observe(elapsed)
+        # Model-quality observability rides after the scoring path: the
+        # recorder buffers the frame first so a drift trip's dump includes
+        # the tick that tripped it.  Both only read `result` — attaching
+        # them leaves scores, thresholds and alerts bit-identical.
+        if self.recorder is not None:
+            self.recorder.record(rows, timestamp, result)
+        if self.drift_monitor is not None:
+            with self._tracer.span("fleet.drift"):
+                newly_tripped = self.drift_monitor.update(result.scores)
+            if newly_tripped and self.recorder is not None:
+                self.recorder.trigger("drift_trip")
         return result
 
     def _step_inner(self, rows: np.ndarray, timestamp: float | None) -> FleetStepResult:

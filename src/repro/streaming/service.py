@@ -95,6 +95,15 @@ class StreamingService:
         Telemetry sink (see :mod:`repro.obs`); ``None`` captures the process
         default at construction (a no-op until
         :func:`repro.obs.enable_telemetry` runs).
+    slo:
+        Optional :class:`repro.obs.SLOMonitor`.  The service feeds it from
+        its always-on accounting — every submit/shed outcome lands in the
+        ingest window, every drained step in the tick-latency, alert-rate
+        and POT-refit windows — and after each drained step any SLO burning
+        past the monitor's ``burn_alert`` triggers the fleet's flight
+        recorder (when one is attached) with reason ``"slo_burn"``.
+        Purely observational: attach or detach it and scores, thresholds
+        and alerts are bit-identical.
     """
 
     def __init__(
@@ -104,6 +113,7 @@ class StreamingService:
         latency_window: int = 4096,
         flusher=None,
         registry=None,
+        slo=None,
     ):
         if max_queue <= 0:
             raise ValueError("max_queue must be positive")
@@ -112,6 +122,7 @@ class StreamingService:
         self.fleet = fleet
         self.max_queue = max_queue
         self.flusher = flusher
+        self.slo = slo
         self._queue: deque = deque()
         self._latencies: deque = deque(maxlen=latency_window)
         self._processed = 0
@@ -161,6 +172,8 @@ class StreamingService:
         if len(self._queue) >= self.max_queue:
             self._dropped_queue_full += 1
             self._m_dropped.labels(reason="queue_full").inc()
+            if self.slo is not None:
+                self.slo.record_ingest(dropped=1)
             if self._dropped_queue_full == 1 or self._dropped_queue_full % _DROP_LOG_EVERY == 0:
                 logger.warning(
                     "queue_drop reason=queue_full dropped=%d queue=%d/%d",
@@ -170,6 +183,8 @@ class StreamingService:
         self._queue.append((np.array(rows, dtype=np.float64, copy=True), timestamp))
         self._max_queue_depth = max(self._max_queue_depth, len(self._queue))
         self._m_submitted.inc()
+        if self.slo is not None:
+            self.slo.record_ingest(accepted=1)
         if self._telemetry:
             self._m_queue_depth.set(len(self._queue))
         return True
@@ -192,6 +207,8 @@ class StreamingService:
         if shed:
             self._dropped_shed += shed
             self._m_dropped.labels(reason="shed").inc(shed)
+            if self.slo is not None:
+                self.slo.record_ingest(dropped=shed)
             logger.warning(
                 "queue_drop reason=shed dropped=%d queue=%d/%d",
                 shed, len(self._queue), self.max_queue,
@@ -218,6 +235,17 @@ class StreamingService:
                 self._stars_per_step = int(np.asarray(scores).size)
             drained.append(result)
             self._m_step_seconds.observe(elapsed)
+            if self.slo is not None:
+                self.slo.observe_tick(
+                    elapsed, result,
+                    refits=int(getattr(self.fleet, "threshold_refits", 0)),
+                    refit_failures=int(getattr(self.fleet, "threshold_refit_failures", 0)),
+                )
+                burning = self.slo.burning()
+                if burning:
+                    recorder = getattr(self.fleet, "recorder", None)
+                    if recorder is not None:
+                        recorder.trigger("slo_burn")
             if self.flusher is not None:
                 self.flusher.tick()
         if drained and self._telemetry:

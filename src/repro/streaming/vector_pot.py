@@ -101,6 +101,9 @@ class VectorizedIncrementalPOT:
         self._scales = np.zeros(0, dtype=np.float64)
         self._has_fit = np.zeros(0, dtype=bool)
         self.num_refits = np.zeros(0, dtype=np.int64)
+        # Runtime-only always-on accounting (not part of state_dict): a
+        # restored calibration starts a fresh failure ledger.
+        self.refit_failures = 0
 
     # ------------------------------------------------------------------
     @property
@@ -259,6 +262,7 @@ class VectorizedIncrementalPOT:
                 except Exception:
                     # Telemetry must not change behaviour: record the event,
                     # then fail exactly as the uninstrumented path would.
+                    self.refit_failures += 1
                     logger.warning(
                         "pot_refit_failed star=%d excesses=%d",
                         int(star), int(self._counts[star]),

@@ -17,6 +17,7 @@ Layout (one directory per name, one immutable directory per version)::
           model.npz        # the AeroDetector.save() artifact
           manifest.json    # {"name", "version", "metadata", ...}
           calibration.npz  # optional per-star threshold state (see below)
+          drift.npz        # optional drift-reference sketch (see below)
         v0002/
           ...
 
@@ -27,6 +28,15 @@ calibration** (``ModelRegistry.publish(..., calibration=...)`` with a
 sidecar and its star count; :meth:`ModelRegistry.deploy` restores it into
 the target front-end after the hot swap, so a redeployed fleet keeps its
 adapted per-star thresholds instead of re-calibrating from train scores.
+
+Since PR 7 a version may also carry the **drift-monitoring reference
+sketch** (``publish(..., drift_reference=...)`` with a fitted
+:class:`repro.obs.DriftMonitor`, a front-end exposing ``drift_state()``,
+or its state dict): the per-star calibration-time score distribution the
+:class:`~repro.obs.drift.DriftMonitor` compares live serving against.
+``deploy`` restores it into targets that already monitor drift, so the
+deployed model is watched against *its own* calibration snapshot, not the
+previous model's.
 
 Publishes are atomic at the directory level: the artifact is staged into a
 hidden temp directory and ``rename``d into place, so a concurrently reading
@@ -85,6 +95,16 @@ class ModelVersion:
         return self.calibration_path.exists()
 
     @property
+    def drift_path(self) -> Path:
+        """The drift-reference sidecar of this version."""
+        return self.path / ModelRegistry.DRIFT
+
+    @property
+    def has_drift_reference(self) -> bool:
+        """Whether this version was published with a drift-reference sketch."""
+        return self.drift_path.exists()
+
+    @property
     def label(self) -> str:
         return f"{self.name}@v{self.version:04d}"
 
@@ -95,6 +115,7 @@ class ModelRegistry:
     ARTIFACT = "model.npz"
     MANIFEST = "manifest.json"
     CALIBRATION = "calibration.npz"
+    DRIFT = "drift.npz"
     _PUBLISH_RETRIES = 16
 
     def __init__(self, root: str | Path):
@@ -181,6 +202,26 @@ class ModelRegistry:
         with np.load(resolved.calibration_path) as archive:
             return {key: archive[key] for key in archive.files}
 
+    def load_drift_reference(self, name: str, version: int | None = None):
+        """Load a version's drift-reference sketch as a ready monitor.
+
+        Returns a :class:`repro.obs.DriftMonitor` rebuilt from the published
+        ``drift.npz`` — the calibration-time reference distributions and
+        hysteresis settings intact, live sketches fresh.  Raises
+        :class:`KeyError` when the version was published without one.
+        """
+        from ..obs.drift import DriftMonitor
+
+        resolved = self.get(name, version)
+        return DriftMonitor.from_state_dict(self._read_drift_state(resolved))
+
+    @staticmethod
+    def _read_drift_state(resolved: ModelVersion) -> dict:
+        if not resolved.has_drift_reference:
+            raise KeyError(f"{resolved.label} was published without a drift reference")
+        with np.load(resolved.drift_path) as archive:
+            return {key: archive[key] for key in archive.files}
+
     # ------------------------------------------------------------------
     # writing
     # ------------------------------------------------------------------
@@ -190,6 +231,7 @@ class ModelRegistry:
         source: "AeroDetector | str | Path",
         metadata: dict | None = None,
         calibration=None,
+        drift_reference=None,
     ) -> ModelVersion:
         """Publish a fitted detector (or an existing artifact) as a new version.
 
@@ -201,11 +243,15 @@ class ModelRegistry:
         front-end exposing ``threshold_state()`` (a per-star
         :class:`~repro.streaming.FleetManager` or
         :class:`~repro.streaming.StreamingDetector`), or a plain state
-        dict.  Returns the new :class:`ModelVersion`.
+        dict.  ``drift_reference`` likewise snapshots the drift-monitoring
+        reference sketch: a fitted :class:`repro.obs.DriftMonitor`, a
+        front-end exposing ``drift_state()``, or its state dict.  Returns
+        the new :class:`ModelVersion`.
         """
         name = self._check_name(name)
         metadata = dict(metadata or {})
         state = self._resolve_calibration(calibration)
+        drift_state = self._resolve_drift_reference(drift_reference)
         model_dir = self.root / name
         model_dir.mkdir(parents=True, exist_ok=True)
 
@@ -228,6 +274,12 @@ class ModelRegistry:
                     manifest["calibration"] = self.CALIBRATION
                     manifest["calibration_stars"] = int(
                         np.asarray(state["thresholds"]).size
+                    )
+                if drift_state is not None:
+                    np.savez_compressed(staging / self.DRIFT, **drift_state)
+                    manifest["drift_reference"] = self.DRIFT
+                    manifest["drift_stars"] = int(
+                        np.asarray(drift_state["ref_probs"]).shape[0]
                     )
                 (staging / self.MANIFEST).write_text(json.dumps(manifest, indent=2))
             except Exception:
@@ -275,6 +327,31 @@ class ModelRegistry:
             raise ValueError("calibration state is missing its 'thresholds' array")
         return state
 
+    @staticmethod
+    def _resolve_drift_reference(drift_reference) -> dict | None:
+        """Normalise a publishable drift reference into a state dict of arrays."""
+        if drift_reference is None:
+            return None
+        if isinstance(drift_reference, dict):
+            state = drift_reference
+        elif hasattr(drift_reference, "state_dict"):
+            state = drift_reference.state_dict()
+        elif hasattr(drift_reference, "drift_state"):
+            state = drift_reference.drift_state()
+            if state is None:
+                raise ValueError(
+                    "the serving front-end has no drift monitor attached, "
+                    "so there is no reference sketch to publish"
+                )
+        else:
+            raise TypeError(
+                "drift_reference must be a fitted DriftMonitor, a front-end with "
+                f"drift_state(), or a state dict — got {type(drift_reference).__name__}"
+            )
+        if "ref_probs" not in state:
+            raise ValueError("drift reference state is missing its 'ref_probs' array")
+        return state
+
     def _write_artifact(self, source, destination: Path) -> None:
         if isinstance(source, (str, Path)):
             source = Path(source)
@@ -300,6 +377,7 @@ class ModelRegistry:
         version: int | None = None,
         dtype=None,
         restore_calibration: bool = True,
+        restore_drift: bool = True,
     ):
         """Hot-swap a published version into a running serving front-end.
 
@@ -317,10 +395,15 @@ class ModelRegistry:
         intact — instead of re-calibrating from the new model's train
         scores.  A target deliberately running the frozen global threshold
         is left alone (enable per-star mode, or call
-        ``load_threshold_state`` yourself, to opt in).  Star-count
-        mismatches are rejected *before* the swap, so a failed deploy never
-        leaves the target half-migrated.  Returns the deployed
-        :class:`ModelVersion`.
+        ``load_threshold_state`` yourself, to opt in).  Likewise, when the
+        version carries a drift-reference sketch and the target already
+        monitors drift (``restore_drift`` left on), the published reference
+        replaces the target's after the swap — the new model is watched
+        against its own calibration snapshot, not the old model's.  A
+        target without a drift monitor is left alone (attach one, or call
+        ``load_drift_state`` yourself, to opt in).  Star-count mismatches
+        are rejected *before* the swap, so a failed deploy never leaves the
+        target half-migrated.  Returns the deployed :class:`ModelVersion`.
         """
         resolved = self.get(name, version)
         state = None
@@ -340,6 +423,23 @@ class ModelRegistry:
                     f"{resolved.label} calibration covers {published_stars} stars but the "
                     f"target serves {target_stars}; aborting before the model swap"
                 )
+        drift_state = None
+        if (
+            restore_drift
+            and resolved.has_drift_reference
+            and hasattr(target, "load_drift_state")
+            and getattr(target, "drift_state", lambda: None)() is not None
+        ):
+            drift_state = self._read_drift_state(resolved)
+            published_stars = int(np.asarray(drift_state["ref_probs"]).shape[0])
+            target_stars = getattr(target, "num_stars", None) or getattr(
+                target, "num_variates", None
+            )
+            if target_stars is not None and published_stars != target_stars:
+                raise ValueError(
+                    f"{resolved.label} drift reference covers {published_stars} stars but "
+                    f"the target serves {target_stars}; aborting before the model swap"
+                )
         if dtype is not None:
             target.swap_model(self.load_compiled(name, resolved.version, dtype=dtype))
         else:
@@ -347,6 +447,9 @@ class ModelRegistry:
         if state is not None:
             target.load_threshold_state(state)
             logger.info("[registry] restored per-star thresholds from %s", resolved.label)
+        if drift_state is not None:
+            target.load_drift_state(drift_state)
+            logger.info("[registry] restored drift reference from %s", resolved.label)
         # Stamp the serving version for health snapshots — swap_model itself
         # cleared it, since a raw-source swap has no registry identity.
         if hasattr(target, "model_version"):

@@ -132,3 +132,39 @@ def test_flusher_validates_cadence(tmp_path):
         MetricsFlusher(registry, tmp_path / "m.jsonl", every_steps=0)
     with pytest.raises(ValueError, match="every_seconds must be positive"):
         MetricsFlusher(registry, tmp_path / "m.jsonl", every_seconds=0.0)
+
+
+def test_label_values_escape_and_round_trip():
+    """Backslashes, newlines and double quotes in label values survive the
+    render -> parse round trip (the exposition format's escaping rules)."""
+    registry = MetricsRegistry()
+    gauge = registry.gauge("weird_labels", "label torture", labels=("path",))
+    values = [
+        'say "hi"',
+        "back\\slash",
+        "multi\nline",
+        'all \\ of "them"\ntogether',
+        "braces { } and = signs",
+        "",
+    ]
+    for index, value in enumerate(values):
+        gauge.labels(path=value).set(float(index))
+    text = render_prometheus(registry)
+    assert '\\"hi\\"' in text                     # quotes escaped on the wire
+    assert "back\\\\slash" in text                # backslash doubled
+    assert "multi\\nline" in text                 # newline kept to one line
+    assert all(line.count("weird_labels") <= 1 for line in text.splitlines())
+    samples = parse_prometheus(text)
+    for index, value in enumerate(values):
+        assert samples[("weird_labels", (("path", value),))] == float(index)
+
+
+def test_escaping_helpers_invert_exactly():
+    from repro.obs.export import _escape_label_value, _unescape_label_value
+
+    for raw in ('a"b', "a\\b", "a\nb", "\\n", '\\"', "plain", "", "\\", "\n\n"):
+        assert _unescape_label_value(_escape_label_value(raw)) == raw
+    # Escaped forms are unambiguous: "\\n" (literal backslash + n) is not "\n".
+    assert _escape_label_value("\\n") == "\\\\n"
+    assert _unescape_label_value("\\\\n") == "\\n"
+    assert _unescape_label_value("\\n") == "\n"

@@ -168,3 +168,24 @@ def test_latency_percentiles():
     p50, p99 = latency_percentiles(np.linspace(0.001, 0.1, 100))
     assert p50 < p99
     assert p50 == pytest.approx(50.5, rel=0.05)
+
+
+def test_fleet_health_immediately_after_construction(obs_night, make_obs_fleet):
+    """A zero-tick fleet snapshots cleanly: no division by an empty ring, NaN
+    latencies (not garbage), cold (= degraded) until warm-up completes."""
+    scenario, detector, threshold = obs_night
+    fleet = make_obs_fleet(detector, scenario, threshold)
+    health = fleet.health()
+    assert health.steps_ingested == 0
+    assert not health.warmed_up
+    assert np.isnan(health.p50_step_ms) and np.isnan(health.p99_step_ms)
+    assert health.missing_rate == 0.0
+    assert health.shard_gap_rates == [0.0] * scenario.config.num_shards
+    assert health.alerts_fired == 0
+    assert health.drift_tripped_stars == 0
+    assert not health.healthy                      # cold fleets are degraded
+    line = health.format()
+    assert "steps=0" in line and "drift_tripped=0" in line and "DEGRADED" in line
+    data = health.to_dict()
+    assert data["healthy"] is False
+    assert data["drift_tripped_stars"] == 0

@@ -1,0 +1,189 @@
+"""FlightRecorder: ring semantics, triggers, npz dumps, bit-identical replay."""
+
+import numpy as np
+import pytest
+
+from repro.obs import FlightRecord, FlightRecorder
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.simulation import ReplayHarness, replay_flight_record
+
+
+class _Alert:
+    def __init__(self, star, score, threshold):
+        self.star = star
+        self.score = score
+        self.threshold = threshold
+
+
+class _Result:
+    """FleetStepResult-shaped stub with a global threshold."""
+
+    def __init__(self, step, num_stars=4, alerts=0):
+        self.step = step
+        self.scores = np.full(num_stars, float(step))
+        self.thresholds = None
+        self.threshold = 9.0
+        self.labels = np.zeros(num_stars, dtype=np.int64)
+        self.alerts = tuple(_Alert(i, 10.0 + step, 9.0) for i in range(alerts))
+
+
+def _feed(recorder, ticks, start=0, alerts=0, timestamp=None):
+    rows = np.zeros((2, 2))
+    for step in range(start, start + ticks):
+        recorder.record(rows, timestamp, _Result(step, alerts=alerts))
+
+
+# ---------------------------------------------------------------------------
+# ring + trigger semantics
+# ---------------------------------------------------------------------------
+def test_constructor_validation():
+    for bad in (
+        dict(capacity=0),
+        dict(cooldown=-1),
+        dict(alert_storm_window=0),
+        dict(alert_storm_threshold=0),
+    ):
+        with pytest.raises(ValueError):
+            FlightRecorder(**bad)
+
+
+def test_ring_keeps_only_the_latest_frames():
+    recorder = FlightRecorder(capacity=4, alert_storm_threshold=None)
+    _feed(recorder, 10)
+    assert recorder.num_frames == 4
+    assert recorder.ticks_recorded == 10
+    record = recorder.trigger("manual")
+    assert record is not None
+    assert record.num_ticks == 4
+    assert record.trigger_step == 9
+    np.testing.assert_array_equal(record.steps, [6, 7, 8, 9])
+    np.testing.assert_array_equal(record.seqs, record.steps)   # default identity
+    # A global threshold expands to the per-star grid; None timestamps
+    # encode as NaN so auto-advance ticks replay exactly.
+    assert record.thresholds.shape == record.scores.shape
+    np.testing.assert_array_equal(record.thresholds, 9.0)
+    assert np.isnan(record.timestamps).all()
+    assert "flight[manual]" in str(record)
+
+
+def test_trigger_on_empty_ring_returns_none():
+    recorder = FlightRecorder(capacity=4)
+    assert recorder.trigger("manual") is None
+    assert recorder.records == []
+
+
+def test_cooldown_suppresses_repeat_dumps():
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        recorder = FlightRecorder(capacity=8, cooldown=100, alert_storm_threshold=None)
+    _feed(recorder, 5)
+    assert recorder.trigger("drift_trip") is not None
+    assert recorder.trigger("drift_trip") is None       # inside the cooldown
+    assert recorder.suppressed_triggers == 1
+    _feed(recorder, 100, start=5)
+    assert recorder.trigger("drift_trip") is not None   # cooldown elapsed
+    assert len(recorder.records) == 2
+    assert registry.get("flight_dumps_total").labels(reason="drift_trip").value == 2
+
+
+def test_alert_storm_watchdog_fires():
+    recorder = FlightRecorder(
+        capacity=16, alert_storm_window=4, alert_storm_threshold=6, cooldown=0
+    )
+    _feed(recorder, 2)                                  # quiet: no trigger
+    assert recorder.records == []
+    _feed(recorder, 3, start=2, alerts=2)               # 6 alerts in-window
+    reasons = [record.reason for record in recorder.records]
+    assert reasons == ["alert_storm"]
+    record = recorder.records[0]
+    assert record.num_alerts == 6
+    np.testing.assert_array_equal(record.alert_stars, [0, 1, 0, 1, 0, 1])
+    np.testing.assert_array_equal(record.alert_steps, [2, 2, 3, 3, 4, 4])
+
+
+def test_storm_watchdog_window_slides():
+    recorder = FlightRecorder(
+        capacity=64, alert_storm_window=4, alert_storm_threshold=6, cooldown=0
+    )
+    # One alert per tick never sums to 6 inside a 4-tick window.
+    _feed(recorder, 30, alerts=1)
+    assert recorder.records == []
+
+
+# ---------------------------------------------------------------------------
+# persistence
+# ---------------------------------------------------------------------------
+def test_dump_dir_writes_loadable_npz(tmp_path):
+    recorder = FlightRecorder(capacity=8, dump_dir=tmp_path / "black-box")
+    _feed(recorder, 6, alerts=1, timestamp=100.0)
+    record = recorder.trigger("slo_burn")
+    assert record.path is not None
+    assert record.path.name == "flight-slo_burn-step000005.npz"
+    loaded = FlightRecord.load(record.path)
+    assert loaded.reason == "slo_burn"
+    assert loaded.trigger_step == 5
+    assert loaded.path == record.path
+    for name in ("seqs", "steps", "timestamps", "rows", "scores",
+                 "thresholds", "labels", "alert_stars", "alert_scores"):
+        np.testing.assert_array_equal(getattr(loaded, name), getattr(record, name))
+
+
+def test_load_rejects_wrong_key_sets(tmp_path):
+    recorder = FlightRecorder(capacity=4)
+    _feed(recorder, 3)
+    record = recorder.trigger("manual")
+    path = tmp_path / "tampered.npz"
+    arrays = {name: getattr(record, name) for name in ("seqs", "steps", "scores")}
+    np.savez_compressed(path, **arrays)
+    with pytest.raises(ValueError, match="wrong keys"):
+        FlightRecord.load(path)
+
+
+# ---------------------------------------------------------------------------
+# the acceptance criterion: a dump replays bit-identically
+# ---------------------------------------------------------------------------
+def test_flight_record_replays_bit_identically(obs_night, make_obs_fleet, tmp_path):
+    """A full-history dump re-run through a fresh, identically constructed
+    fleet reproduces the incident's scores, thresholds, labels and alerts
+    exactly — the post-mortem runs the actual night, not a reconstruction."""
+    scenario, detector, threshold = obs_night
+    recorder = FlightRecorder(
+        capacity=512, dump_dir=tmp_path, alert_storm_threshold=None
+    )
+    fleet = make_obs_fleet(detector, scenario, threshold, recorder=recorder)
+    report, night_trace = ReplayHarness(fleet, scenario).run()
+    assert recorder.ticks_recorded == len(night_trace.seqs)
+    assert recorder.num_frames == len(night_trace.seqs)   # ring never wrapped
+
+    record = recorder.trigger("post_mortem")
+    assert record is not None
+    assert record.num_ticks == len(night_trace.seqs)
+    assert record.num_alerts == report.num_alerts
+
+    fresh = make_obs_fleet(detector, scenario, threshold)
+    trace, mismatches = record.replay(fresh)
+    assert mismatches == []
+    assert np.array_equal(trace.scores, record.scores, equal_nan=True)
+
+    # The dump on disk carries everything the in-memory record did: loading
+    # it back and replaying through another fresh fleet still pins exactly.
+    loaded = FlightRecord.load(record.path)
+    _, mismatches = replay_flight_record(make_obs_fleet(detector, scenario, threshold), loaded)
+    assert mismatches == []
+
+
+def test_replay_reports_divergence(obs_night, make_obs_fleet):
+    """A fleet that does NOT match the incident's construction must be
+    called out — silence here would turn post-mortems into fiction."""
+    scenario, detector, threshold = obs_night
+    recorder = FlightRecorder(capacity=512, alert_storm_threshold=None)
+    fleet = make_obs_fleet(detector, scenario, threshold, recorder=recorder)
+    ReplayHarness(fleet, scenario).run()
+    record = recorder.trigger("post_mortem")
+
+    skewed = make_obs_fleet(detector, scenario, threshold * 0.2)
+    _, mismatches = record.replay(skewed)
+    assert mismatches, "a mis-thresholded replay must not pin"
+
+    with pytest.raises(TypeError, match="step"):
+        replay_flight_record(object(), record)

@@ -1,0 +1,191 @@
+"""SLO windows: rolling good/bad accounting, burn rates, serving wiring."""
+
+import numpy as np
+import pytest
+
+from repro.obs import SLO, FlightRecorder, SLOMonitor
+from repro.obs.export import parse_prometheus, render_prometheus
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.streaming import StreamingService
+
+
+class _StubResult:
+    def __init__(self, num_stars=8, alerts=()):
+        self.scores = np.zeros(num_stars)
+        self.alerts = alerts
+
+
+class _StubFleet:
+    def __init__(self, num_stars=8):
+        self._num_stars = num_stars
+        self.threshold_refits = 0
+        self.threshold_refit_failures = 0
+
+    def step(self, rows, timestamp=None):
+        return _StubResult(self._num_stars)
+
+
+# ---------------------------------------------------------------------------
+# a single SLO window
+# ---------------------------------------------------------------------------
+def test_empty_window_is_compliant_and_not_burning():
+    slo = SLO("latency", objective=0.99, window=16)
+    assert slo.events == 0
+    assert slo.compliance == 1.0
+    assert slo.burn_rate == 0.0
+    assert not slo.breached
+    status = slo.status()
+    assert status.events == 0 and not status.breached
+    assert "slo[latency] ok" in str(status)
+
+
+def test_burn_rate_is_bad_fraction_over_budget():
+    slo = SLO("ingest", objective=0.99, window=100)
+    for _ in range(90):
+        slo.record(good=1)
+    for _ in range(10):
+        slo.record(bad=1)
+    # 10% bad against a 1% budget: burning 10x.
+    assert slo.compliance == pytest.approx(0.90)
+    assert slo.burn_rate == pytest.approx(10.0)
+    assert slo.breached
+    assert "BREACH" in str(slo.status())
+    assert slo.status().to_dict()["burn_rate"] == pytest.approx(10.0)
+
+
+def test_window_evicts_oldest_events():
+    slo = SLO("x", objective=0.5, window=4)
+    for _ in range(4):
+        slo.record(bad=1)
+    assert slo.compliance == 0.0
+    for _ in range(4):
+        slo.record(good=1)                 # pushes every bad event out
+    assert slo.events == 4
+    assert slo.compliance == 1.0
+    assert not slo.breached
+    # Batched counts evict as one entry each.
+    slo.record(good=10, bad=10)
+    assert slo.events == 23                # 3 singles + one (10, 10) batch
+    assert slo.compliance == pytest.approx(13 / 23)
+
+
+def test_slo_validation():
+    for objective in (0.0, 1.0, -1.0):
+        with pytest.raises(ValueError):
+            SLO("x", objective=objective)
+    with pytest.raises(ValueError):
+        SLO("x", objective=0.5, window=0)
+    with pytest.raises(ValueError):
+        SLO("x", objective=0.5).record(good=-1)
+
+
+# ---------------------------------------------------------------------------
+# the serving monitor
+# ---------------------------------------------------------------------------
+def test_monitor_validation():
+    with pytest.raises(ValueError):
+        SLOMonitor(latency_budget_ms=0.0)
+    with pytest.raises(ValueError):
+        SLOMonitor(alert_objective_per_1k=1000.0)
+    with pytest.raises(ValueError):
+        SLOMonitor(burn_alert=0.0)
+
+
+def test_observe_tick_feeds_latency_and_alert_windows():
+    monitor = SLOMonitor(latency_budget_ms=100.0, window=64)
+    alerts = (object(), object())
+    monitor.observe_tick(0.050, _StubResult(num_stars=10, alerts=alerts))
+    monitor.observe_tick(0.500, _StubResult(num_stars=10))
+    latency = monitor.slos[SLOMonitor.TICK_LATENCY]
+    assert latency.events == 2
+    assert latency.compliance == pytest.approx(0.5)
+    alert_rate = monitor.slos[SLOMonitor.ALERT_RATE]
+    assert alert_rate.events == 20
+    assert alert_rate.compliance == pytest.approx(18 / 20)
+    summary = monitor.summary()
+    assert summary[SLOMonitor.TICK_LATENCY]["events"] == 2
+    assert SLOMonitor.TICK_LATENCY in monitor.format()
+
+
+def test_refit_counters_are_cumulative_deltas():
+    monitor = SLOMonitor()
+    monitor.observe_tick(0.001, refits=3, refit_failures=0)
+    monitor.observe_tick(0.001, refits=5, refit_failures=1)
+    monitor.observe_tick(0.001, refits=5, refit_failures=1)   # no change
+    refit = monitor.slos[SLOMonitor.POT_REFIT]
+    assert refit.events == 6                # 5 good refits + 1 failure
+    assert refit.compliance == pytest.approx(5 / 6)
+    monitor.record_refit_failure()
+    assert monitor.slos[SLOMonitor.POT_REFIT].events == 7
+
+
+def test_burning_names_fast_burning_slos():
+    monitor = SLOMonitor(latency_budget_ms=1.0, burn_alert=4.0, window=32)
+    assert monitor.burning() == []
+    for _ in range(8):
+        monitor.observe_tick(0.5)           # 500 ms against a 1 ms budget
+    assert SLOMonitor.TICK_LATENCY in monitor.burning()
+    monitor.record_ingest(accepted=99, dropped=0)
+    assert SLOMonitor.INGEST not in monitor.burning()
+    monitor.record_ingest(accepted=0, dropped=50)
+    assert SLOMonitor.INGEST in monitor.burning()
+
+
+def test_compliance_and_burn_export_as_labelled_gauges():
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        monitor = SLOMonitor(latency_budget_ms=10.0)
+    monitor.observe_tick(0.500)             # blown budget: bad tick
+    samples = parse_prometheus(render_prometheus(registry))
+    key = ("slo_compliance", (("slo", SLOMonitor.TICK_LATENCY),))
+    assert samples[key] == 0.0
+    assert samples[
+        ("slo_burn_rate", (("slo", SLOMonitor.TICK_LATENCY),))
+    ] == pytest.approx(100.0)
+    assert samples[("slo_breached", (("slo", SLOMonitor.TICK_LATENCY),))] == 1.0
+    # Untouched SLOs still export their (compliant) resting state.
+    assert samples[("slo_compliance", (("slo", SLOMonitor.INGEST),))] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# wiring through StreamingService
+# ---------------------------------------------------------------------------
+def test_service_feeds_ingest_and_tick_windows():
+    monitor = SLOMonitor(latency_budget_ms=1e4)
+    service = StreamingService(_StubFleet(), max_queue=2, slo=monitor)
+    rows = np.zeros((2, 4))
+    assert service.submit(rows) and service.submit(rows)
+    assert not service.submit(rows)         # queue full: dropped
+    ingest = monitor.slos[SLOMonitor.INGEST]
+    assert ingest.events == 3
+    assert ingest.compliance == pytest.approx(2 / 3)
+    service.drain()
+    assert monitor.slos[SLOMonitor.TICK_LATENCY].events == 2
+    assert monitor.slos[SLOMonitor.ALERT_RATE].events == 16
+    service.submit(rows)                    # accepted: event 4
+    service.shed()                          # then shed again: event 5
+    assert monitor.slos[SLOMonitor.INGEST].events == 5
+    assert monitor.slos[SLOMonitor.INGEST].compliance == pytest.approx(3 / 5)
+
+
+def test_slo_burn_triggers_the_fleet_flight_recorder():
+    class _RecordingFleet(_StubFleet):
+        def __init__(self):
+            super().__init__()
+            self.recorder = FlightRecorder(capacity=8, cooldown=0)
+
+        def step(self, rows, timestamp=None):
+            result = _StubResult(self._num_stars)
+            result.step = 0
+            result.threshold = 1.0
+            result.labels = np.zeros(self._num_stars, dtype=np.int64)
+            self.recorder.record(rows, timestamp, result)
+            return result
+
+    fleet = _RecordingFleet()
+    # An impossible latency budget: the very first drained tick fast-burns.
+    monitor = SLOMonitor(latency_budget_ms=1e-6, burn_alert=4.0)
+    service = StreamingService(fleet, max_queue=4, slo=monitor)
+    service.submit(np.zeros((2, 4)))
+    service.drain()
+    assert [record.reason for record in fleet.recorder.records] == ["slo_burn"]

@@ -216,3 +216,102 @@ class TestLoading:
         # Failed publishes must not burn version numbers or leave debris.
         assert registry.versions("field-a") == []
         assert not list((tmp_path / "field-a").glob(".staging*"))
+
+
+class TestDriftReference:
+    @staticmethod
+    def _monitor(num_stars, seed=0):
+        from repro.obs import DriftMonitor
+
+        rng = np.random.default_rng(seed)
+        return DriftMonitor().fit(rng.normal(size=400), num_stars=num_stars)
+
+    def test_publish_and_load_drift_reference(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        monitor = self._monitor(num_stars=6)
+        version = registry.publish("field-a", fitted_detector, drift_reference=monitor)
+        assert version.has_drift_reference
+        manifest = json.loads((version.path / ModelRegistry.MANIFEST).read_text())
+        assert manifest["drift_reference"] == ModelRegistry.DRIFT
+        assert manifest["drift_stars"] == 6
+        restored = registry.load_drift_reference("field-a")
+        np.testing.assert_array_equal(restored.ref_probs, monitor.ref_probs)
+        np.testing.assert_array_equal(restored.ref_edges, monitor.ref_edges)
+        assert restored.halflife == monitor.halflife
+        # Live sketches are fresh: the sidecar carries the reference only.
+        assert restored.num_observations.sum() == 0
+
+    def test_publish_from_fleet_and_deploy_restores(self, tmp_path, fitted_detector):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        donor = FleetManager(
+            fitted_detector, num_shards=2, drift_monitor=self._monitor(num_stars=6)
+        )
+        registry.publish("field-a", fitted_detector, drift_reference=donor)
+
+        # A target already monitoring drift gets the published reference.
+        target = FleetManager(
+            fitted_detector, num_shards=2, drift_monitor=self._monitor(num_stars=6, seed=9)
+        )
+        assert not np.array_equal(
+            target.drift_monitor.ref_edges, donor.drift_monitor.ref_edges
+        )
+        registry.deploy("field-a", target)
+        np.testing.assert_array_equal(
+            target.drift_monitor.ref_edges, donor.drift_monitor.ref_edges
+        )
+
+        # A target without a monitor is left alone (opt-in semantics) ...
+        bare = FleetManager(fitted_detector, num_shards=2)
+        registry.deploy("field-a", bare)
+        assert bare.drift_monitor is None
+
+        # ... and restore_drift=False keeps the target's own reference.
+        keep = FleetManager(
+            fitted_detector, num_shards=2, drift_monitor=self._monitor(num_stars=6, seed=9)
+        )
+        own = keep.drift_monitor.ref_edges.copy()
+        registry.deploy("field-a", keep, restore_drift=False)
+        np.testing.assert_array_equal(keep.drift_monitor.ref_edges, own)
+
+    def test_deploy_rejects_drift_star_mismatch_before_the_swap(
+        self, tmp_path, fitted_detector
+    ):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        registry.publish(
+            "field-a", fitted_detector, drift_reference=self._monitor(num_stars=9)
+        )
+        target = FleetManager(
+            fitted_detector, num_shards=2, drift_monitor=self._monitor(num_stars=6)
+        )
+        before = target.detector
+        with pytest.raises(ValueError, match="before the model swap"):
+            registry.deploy("field-a", target)
+        assert target.detector is before          # nothing was swapped
+
+    def test_versions_without_drift_reference_say_so(self, tmp_path, fitted_detector):
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        assert not registry.get("field-a").has_drift_reference
+        with pytest.raises(KeyError):
+            registry.load_drift_reference("field-a")
+
+    def test_publish_rejects_bogus_drift_references(self, tmp_path, fitted_detector):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(TypeError):
+            registry.publish("field-a", fitted_detector, drift_reference=object())
+        with pytest.raises(ValueError):
+            registry.publish(
+                "field-a", fitted_detector, drift_reference={"bogus": np.zeros(3)}
+            )
+        # A fleet without a monitor has no reference sketch to publish.
+        bare = FleetManager(fitted_detector, num_shards=2)
+        with pytest.raises(ValueError):
+            registry.publish("field-a", fitted_detector, drift_reference=bare)
+        # Failed publishes must not burn version numbers or leave debris.
+        assert registry.versions("field-a") == []
