@@ -6,6 +6,9 @@ Measures, on the seeded golden survey night (``ScenarioConfig(seed=7)``):
 * **fleet tick throughput** — stars/second of a plain ``FleetManager.run``
   over the night's raw exposures, with p50/p99 per-tick latency from the
   fleet's health snapshot;
+* **incremental serving** — the same night on ``backend="incremental"``
+  (cross-tick state, O(1)-recompute ticks), with the state's cache-hit /
+  rebuild / fallback counters and its speedup over the compiled fleet loop;
 * **fault-replay overhead** — wall-clock cost of driving the same night
   through :class:`repro.simulation.ReplayHarness` (dedupe gate, trace
   collection, event scoring) relative to the plain tick loop;
@@ -87,6 +90,15 @@ def record() -> dict:
     health = fleet.health()
     ticks = health.steps_ingested
 
+    # --- incremental serving: same night on the cross-tick state ---------
+    incremental_fleet = _build_fleet(
+        detector, scenario, threshold, backend="incremental"
+    )
+    started = time.perf_counter()
+    incremental_fleet.run(scenario.exposures, scenario.timestamps)
+    incremental_seconds = time.perf_counter() - started
+    incremental_stats = incremental_fleet.incremental_stats()
+
     # --- fault replay: same night through the validation harness ---------
     harness = ReplayHarness(_build_fleet(detector, scenario, threshold), scenario)
     started = time.perf_counter()
@@ -107,7 +119,7 @@ def record() -> dict:
     drift_seconds = time.perf_counter() - started
 
     return {
-        "schema": "bench-streaming/v2",
+        "schema": "bench-streaming/v3",
         "recorded_unix": time.time(),
         "repro_version": __version__,
         "platform": {
@@ -131,6 +143,14 @@ def record() -> dict:
             "stars_per_second": round(ticks * health.num_stars / plain_seconds, 1),
             "p50_step_ms": round(health.p50_step_ms, 3),
             "p99_step_ms": round(health.p99_step_ms, 3),
+        },
+        "incremental": {
+            "seconds": round(incremental_seconds, 4),
+            "ticks_per_second": round(ticks / incremental_seconds, 2),
+            "speedup_vs_compiled": round(plain_seconds / incremental_seconds, 3),
+            "rebuilds": incremental_stats["rebuilds"],
+            "incremental_ticks": incremental_stats["incremental_ticks"],
+            "fallback_ticks": incremental_stats["fallback_ticks"],
         },
         "replay": {
             "frames": replay_frames,
@@ -173,13 +193,16 @@ def main(argv: list[str] | None = None) -> int:
     record_dict = record()
     trajectory.append(record_dict)
     path.write_text(json.dumps(trajectory, indent=2) + "\n")
-    fleet, replay, drift = (
-        record_dict["fleet"], record_dict["replay"], record_dict["drift"]
+    fleet, incremental, replay, drift = (
+        record_dict["fleet"], record_dict["incremental"],
+        record_dict["replay"], record_dict["drift"],
     )
     print(f"wrote {path} ({len(trajectory)} run{'s' if len(trajectory) != 1 else ''})")
     print(
         f"fleet: {fleet['stars_per_second']:,.0f} stars/s "
         f"(p50 {fleet['p50_step_ms']:.2f} ms, p99 {fleet['p99_step_ms']:.2f} ms); "
+        f"incremental {incremental['speedup_vs_compiled']:.2f}x "
+        f"({incremental['rebuilds']} rebuilds); "
         f"replay overhead {replay['overhead_vs_plain']:.2f}x; "
         f"drift overhead {drift['overhead_vs_plain']:.2f}x"
     )

@@ -35,6 +35,11 @@ SHARD_STARS = 8        # stars per shard (fleet geometry: 48 x 8 = 384 stars)
 TICKS = 12             # measured exposure ticks
 MIN_SPEEDUP = 5.0      # acceptance: compiled runtime >= 5x autograd
 
+INCREMENTAL_SHARDS = 96        # incremental serving fleet (96 x 8 = 768 stars)
+INCREMENTAL_TICKS = 240        # sliding exposure ticks for the incremental lane
+FULL_MODEL_TICKS = 40          # shorter ungated lane: ~18 ms/tick fused
+MIN_INCREMENTAL_SPEEDUP = 3.0  # acceptance: incremental >= 3x the fused tick (GCN profile)
+
 
 def _fit_detector():
     config = AeroConfig(
@@ -117,6 +122,121 @@ def _run_serving_comparison():
         "fused_scores": fused_scores,
         "fused32_scores": fused32_scores,
     }
+
+
+def _sliding_serving_data(detector, dataset, ticks, num_shards):
+    """A sliding fleet night: seed windows, per-tick rows, per-tick stacks.
+
+    Unlike :func:`_window_stacks` (independent windows per tick), this is
+    the incremental serving shape: every shard's window advances by exactly
+    one row per tick, so tick ``t``'s stack shares ``W - 1`` rows with tick
+    ``t - 1``'s.
+    """
+    window = detector.config.window
+    scaled = detector.scaler.transform(dataset.test[:, :SHARD_STARS])
+    needed = window + num_shards + ticks
+    if len(scaled) < needed:
+        scaled = np.concatenate([scaled] * (-(-needed // len(scaled))))
+    base = np.stack([scaled[s : s + window] for s in range(num_shards)])
+    rows = np.empty((ticks, num_shards, SHARD_STARS))
+    tick_stacks = np.empty((ticks, num_shards, window, SHARD_STARS))
+    for tick in range(ticks):
+        for shard in range(num_shards):
+            rows[tick, shard] = scaled[window + shard + tick]
+            tick_stacks[tick, shard] = scaled[shard + tick + 1 : shard + tick + 1 + window]
+    return base, rows, tick_stacks
+
+
+def _run_incremental_comparison():
+    detector, dataset = _fit_detector()
+    # The GCN serving profile: no temporal stage, static correlation graph.
+    # This is where incremental serving shines — the static adjacency, its
+    # normalization and the ring staging all cache across ticks, leaving
+    # only the newest errors column's propagation per tick.
+    gcn_detector = AeroDetector(detector.config, use_temporal=False, graph_mode="static")
+    gcn_detector.fit(dataset.train[:, :SHARD_STARS], dataset.train_timestamps)
+
+    def measure(fitted, ticks, num_shards):
+        compiled = compile_detector(fitted)
+        base, rows, tick_stacks = _sliding_serving_data(fitted, dataset, ticks, num_shards)
+        staging = np.empty_like(tick_stacks[0])
+        fused_scores = np.empty((ticks, num_shards, SHARD_STARS))
+        incremental_scores = np.empty_like(fused_scores)
+
+        def fused_pass():
+            # What a compiled-backend fleet pays per tick: stage every
+            # shard's current window from its ring, then one fused
+            # score_stack call (see FleetManager._step_inner).
+            started = time.perf_counter()
+            for tick in range(ticks):
+                for shard in range(num_shards):
+                    staging[shard] = tick_stacks[tick, shard]
+                fused_scores[tick] = compiled.score_stack(staging)
+            return time.perf_counter() - started
+
+        def incremental_pass():
+            state = compiled.new_incremental_state(num_shards)
+            state.rebuild(base)
+            started = time.perf_counter()
+            for tick in range(ticks):
+                incremental_scores[tick] = compiled.score_stack_step(state, rows[tick])
+            return time.perf_counter() - started
+
+        fused_seconds = min(fused_pass() for _ in range(3))
+        incremental_seconds = min(incremental_pass() for _ in range(3))
+        return fused_seconds, incremental_seconds, fused_scores.copy(), incremental_scores.copy()
+
+    # The gated lane serves the larger incremental fleet: per-tick staging
+    # grows with the shard count, which is precisely the cost the state's
+    # rings retire, while the full-model lane keeps the standard geometry
+    # (it is ungated and ~18 ms/tick, so fewer ticks suffice).
+    gcn = measure(gcn_detector, INCREMENTAL_TICKS, INCREMENTAL_SHARDS)
+    full = measure(detector, FULL_MODEL_TICKS, NUM_SHARDS)
+    return {
+        "gcn": gcn + (INCREMENTAL_TICKS,),
+        "full": full + (FULL_MODEL_TICKS,),
+    }
+
+
+def test_incremental_speedup(benchmark, profile):
+    """Incremental serving lane: O(1)-recompute ticks vs the fused stack.
+
+    Acceptance gates bit-equality on every tick for both profiles, and a
+    >= 3x per-tick throughput gain on the GCN serving profile.  The full
+    transformer profile has no exact cross-tick reuse to exploit — the
+    slot-relative time embedding re-phases *every* window position on each
+    slide, so all attention K/V change and the exact-incremental tick ends
+    up near fused parity (measured ~0.85-1.0x: the staging-copy and
+    memoized-stage savings roughly offset the workspace overhead); it is
+    reported, asserted bit-equal and loosely gated against pathological
+    regressions only.
+    """
+    result = run_once(benchmark, _run_incremental_comparison)
+
+    print()
+    print(f"{'profile':<22}{'ms/tick':>10}{'ticks/sec':>12}{'vs fused':>10}")
+    print("-" * 54)
+    for label, key in (("gcn static-graph", "gcn"), ("full transformer", "full")):
+        fused_seconds, incremental_seconds, _, _, ticks = result[key]
+        for name, seconds in ((f"{label} fused", fused_seconds),
+                              (f"{label} incr", incremental_seconds)):
+            print(
+                f"{name:<22}{1e3 * seconds / ticks:>10.3f}"
+                f"{ticks / seconds:>12,.0f}"
+                f"{fused_seconds / seconds:>9.2f}x"
+            )
+
+    for key in ("gcn", "full"):
+        _, _, fused_scores, incremental_scores, _ = result[key]
+        # Exactness first: every tick bit-equal to the fused stack forward.
+        assert np.array_equal(fused_scores, incremental_scores), key
+    gcn_fused, gcn_incremental = result["gcn"][:2]
+    full_fused, full_incremental = result["full"][:2]
+    # Acceptance: >= 3x the fused score_stack per-tick throughput
+    # (measured ~4x; margin absorbs shared-runner noise).
+    assert gcn_fused / gcn_incremental >= MIN_INCREMENTAL_SPEEDUP
+    # The full profile must stay in the fused tick's neighbourhood.
+    assert full_fused / full_incremental >= 0.7
 
 
 def test_runtime_speedup(benchmark, profile):

@@ -30,6 +30,7 @@ or, through the detector itself::
 """
 
 from .compiler import CompiledDetector, compile_detector, compile_model
+from .incremental import IncrementalState, ScratchArena
 from .plans import (
     CompiledForwardResult,
     CompiledModel,
@@ -44,6 +45,8 @@ __all__ = [
     "CompiledDetector",
     "CompiledModel",
     "CompiledForwardResult",
+    "IncrementalState",
+    "ScratchArena",
     "TemporalPlan",
     "NoisePlan",
     "TimeEmbeddingPlan",

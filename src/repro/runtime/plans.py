@@ -219,12 +219,20 @@ class TimeEmbeddingPlan:
     stream or fleet serving a regular cadence — identical intervals every
     step — therefore pays the sin/cos transcendentals once.  Cached arrays
     are write-locked; downstream kernels only read them.
+
+    Each cached embedding additionally carries a *token* — a monotonically
+    increasing integer minted when the entry is first inserted.  Tokens are
+    never reused, so downstream caches (the decoder self-stage memo, the
+    incremental state's expanded/query caches) can key on them safely:
+    unlike ``id()``, a token cannot alias a different array allocated later
+    at a recycled address.
     """
 
-    __slots__ = ("frequencies", "alpha", "dtype", "_cache", "_cache_bytes")
+    __slots__ = ("frequencies", "alpha", "dtype", "_cache", "_cache_bytes", "_next_token")
 
-    #: Entries kept before the memo is cleared (each entry is one embedded
-    #: window geometry — a handful is typical for a serving process).
+    #: Entries kept before the oldest-inserted one is evicted (each entry is
+    #: one embedded window geometry — a handful is typical for a serving
+    #: process).
     MAX_CACHE = 64
     #: Total bytes the memo may retain; embeddings larger than this are
     #: returned uncached (batch scoring of irregular timestamps would
@@ -235,10 +243,14 @@ class TimeEmbeddingPlan:
         self.frequencies = frequencies
         self.alpha = alpha
         self.dtype = dtype
-        self._cache: dict[tuple, np.ndarray] = {}
+        self._cache: dict[tuple, tuple[int, np.ndarray]] = {}
         self._cache_bytes = 0
+        self._next_token = 0
 
-    def __call__(self, timestamps: np.ndarray, position_offset: int = 0) -> np.ndarray:
+    def embed(
+        self, timestamps: np.ndarray, position_offset: int = 0
+    ) -> tuple[np.ndarray, int | None]:
+        """The embedding plus its cache token (``None`` when uncached)."""
         # Intervals are differenced in float64 regardless of the plan dtype:
         # large absolute timestamps (e.g. unix epochs) would be quantized by
         # a float32 cast before subtraction, destroying the cadence signal.
@@ -252,7 +264,7 @@ class TimeEmbeddingPlan:
         key = (intervals.shape, position_offset, intervals.tobytes())
         cached = self._cache.get(key)
         if cached is not None:
-            return cached
+            return cached[1], cached[0]
 
         positions = position_offset + np.arange(timestamps.shape[1], dtype=self.dtype)
         positional = positions[None, :, None] * self.frequencies[None, None, :]
@@ -264,16 +276,25 @@ class TimeEmbeddingPlan:
         np.cos(phase, out=phase)
         np.add(embedding, phase, out=embedding)
         embedding.flags.writeable = False
-        if embedding.nbytes <= self.MAX_CACHE_BYTES // 4:
-            if (
-                len(self._cache) >= self.MAX_CACHE
-                or self._cache_bytes + embedding.nbytes > self.MAX_CACHE_BYTES
-            ):
-                self._cache.clear()
-                self._cache_bytes = 0
-            self._cache[key] = embedding
-            self._cache_bytes += embedding.nbytes
-        return embedding
+        if embedding.nbytes > self.MAX_CACHE_BYTES // 4:
+            return embedding, None
+        # Evict oldest-inserted entries (dict preserves insertion order)
+        # until the new one fits: a steady mixed-cadence fleet keeps its hot
+        # entries instead of thrashing the whole memo on every overflow.
+        while self._cache and (
+            len(self._cache) >= self.MAX_CACHE
+            or self._cache_bytes + embedding.nbytes > self.MAX_CACHE_BYTES
+        ):
+            _, evicted = self._cache.pop(next(iter(self._cache)))
+            self._cache_bytes -= evicted.nbytes
+        token = self._next_token
+        self._next_token += 1
+        self._cache[key] = (token, embedding)
+        self._cache_bytes += embedding.nbytes
+        return embedding, token
+
+    def __call__(self, timestamps: np.ndarray, position_offset: int = 0) -> np.ndarray:
+        return self.embed(timestamps, position_offset)[0]
 
 
 class TemporalPlan:
@@ -321,7 +342,7 @@ class TemporalPlan:
         self.use_short_window = use_short_window
         self.dtype = dtype
         self._default_times: dict[tuple[int, int], np.ndarray] = {}
-        self._self_stage_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._self_stage_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def _default_long_times(self, batch: int, window: int) -> np.ndarray:
@@ -332,27 +353,32 @@ class TemporalPlan:
             times = np.tile(np.arange(window, dtype=np.float64), (batch, 1))
             times.flags.writeable = False
             if len(self._default_times) >= TimeEmbeddingPlan.MAX_CACHE:
-                self._default_times.clear()
+                del self._default_times[next(iter(self._default_times))]
             self._default_times[key] = times
         return times
 
-    def _decoder_self_stage(self, decoder_time: np.ndarray) -> np.ndarray:
-        """First decoder layer's self stage, memoized on the time embedding.
+    def _decoder_self_stage(self, decoder_time: np.ndarray, token: int | None) -> np.ndarray:
+        """First decoder layer's self stage, memoized on the embedding token.
 
-        Valid because ``decoder_time`` is always one of the frozen arrays
-        memoized by :class:`TimeEmbeddingPlan` (identity-checked below) and
-        the layer weights are frozen: same input object + same weights =
-        same output.  A stream serving a regular cadence hits this memo on
-        every step, skipping the whole pre-cross decoder stage.
+        ``token`` is the :class:`TimeEmbeddingPlan` cache token of
+        ``decoder_time`` (``None`` when the embedding was too large to
+        cache).  Tokens are monotonic and never reused, so — unlike the
+        ``id()``-keyed scheme this replaces — a key can never alias a
+        different array allocated later at a recycled address, and the memo
+        does not need to pin the embedding alive to keep its key stable.
+        A stream serving a regular cadence hits this memo on every step,
+        skipping the whole pre-cross decoder stage.
         """
-        cached = self._self_stage_cache.get(id(decoder_time))
-        if cached is not None and cached[0] is decoder_time:
-            return cached[1]
+        if token is not None:
+            cached = self._self_stage_cache.get(token)
+            if cached is not None:
+                return cached
         compact = self.decoder_layers[0].self_stage(decoder_time)
-        compact.flags.writeable = False
-        if len(self._self_stage_cache) >= TimeEmbeddingPlan.MAX_CACHE:
-            self._self_stage_cache.clear()
-        self._self_stage_cache[id(decoder_time)] = (decoder_time, compact)
+        if token is not None:
+            compact.flags.writeable = False
+            if len(self._self_stage_cache) >= TimeEmbeddingPlan.MAX_CACHE:
+                del self._self_stage_cache[next(iter(self._self_stage_cache))]
+            self._self_stage_cache[token] = compact
         return compact
 
     def _fold(self, windows: np.ndarray) -> np.ndarray:
@@ -428,7 +454,9 @@ class TemporalPlan:
                 self.encoder_embedding_b,
                 self.time_embedding(context_times),
             )
-            decoder_time = self.time_embedding(short_times, position_offset=window - omega)
+            decoder_time, decoder_token = self.time_embedding.embed(
+                short_times, position_offset=window - omega
+            )
             if self.multivariate_input:
                 decoder_input = decoder_time
         else:
@@ -462,7 +490,7 @@ class TemporalPlan:
             # Run the first self-attention stage once per window, then expand
             # across variates for the cross-attention against the per-variate
             # memory (duplicated batch rows produce duplicated bits).
-            compact = self._decoder_self_stage(decoder_time)
+            compact = self._decoder_self_stage(decoder_time, decoder_token)
             decoded = self.decoder_layers[0].cross_stage(
                 np.repeat(compact, variates, axis=0), memory
             )
@@ -477,6 +505,23 @@ class TemporalPlan:
         return projected.reshape(batch, variates, omega)
 
     __call__ = forward
+
+    # ------------------------------------------------------------------
+    def forward_incremental(self, state, new_row: np.ndarray | None = None) -> np.ndarray:
+        """One-tick reconstruction over ``state``'s current ring window.
+
+        ``state`` is a :class:`repro.runtime.incremental.IncrementalState`
+        whose rings hold the serving window; ``new_row`` (scaled ``(S, N)``)
+        is appended first when given.  Cross-tick caches (per-row value
+        embeddings, memoized time embeddings, token-keyed decoder stages)
+        make the per-tick cost sub-window while the float64 output stays
+        bit-for-bit equal to :meth:`forward` on the same window.
+        """
+        from .incremental import temporal_step
+
+        if new_row is not None:
+            state.append(new_row)
+        return temporal_step(self, state)
 
 
 class NoisePlan:
@@ -593,6 +638,20 @@ class NoisePlan:
         return out
 
     __call__ = forward
+
+    # ------------------------------------------------------------------
+    def forward_incremental(self, state, errors: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """One-tick GCN propagation using ``state``'s cached graph inputs.
+
+        In ``static`` mode the degree-normalized adjacency is a constant of
+        the fleet geometry, so it is computed once per state (re)build and
+        reused every tick; ``window``/``dynamic`` adjacencies depend on this
+        tick's errors and are recomputed exactly as :meth:`forward` does.
+        Float64 output is bit-for-bit equal to :meth:`forward`.
+        """
+        from .incremental import noise_step
+
+        return noise_step(self, state, errors, target)
 
 
 @dataclass
