@@ -120,7 +120,7 @@ def record() -> dict:
 
     return {
         "schema": "bench-streaming/v3",
-        "recorded_unix": time.time(),
+        "recorded_unix": time.time(),  # repro: allow[wallclock] -- provenance stamp in the report, not an input to any measurement
         "repro_version": __version__,
         "platform": {
             "python": platform.python_version(),

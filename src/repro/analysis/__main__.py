@@ -1,0 +1,82 @@
+"""CLI gate: ``python -m repro.analysis [targets ...]``.
+
+Walks the default targets (``src/repro``, ``benchmarks``, ``examples``)
+or the paths given on the command line, prints one
+``path:line:col rule message`` line per unsuppressed finding and exits
+non-zero if any remain.  CI runs this as a blocking step before the test
+matrix; ``--report`` additionally writes the findings to a file that CI
+uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .lint import DEFAULT_TARGETS, lint_paths
+from .rules import RULES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static invariant checker for the repro codebase.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help=f"files or directories to lint (default: {', '.join(DEFAULT_TARGETS)})",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="also write the findings (one per line) to PATH",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.rules:
+        for rule in RULES:
+            print(f"{rule.name}: {rule.description}")
+        print(
+            "unused-suppression: every '# repro: allow[rule]' must silence a "
+            "real finding on its line; stale markers are findings themselves"
+        )
+        return 0
+
+    targets = args.targets or [target for target in DEFAULT_TARGETS if Path(target).exists()]
+    findings, files_checked = lint_paths(targets)
+
+    lines = [finding.format() for finding in findings]
+    for line in lines:
+        print(line)
+    if args.report is not None:
+        report = Path(args.report)
+        report.parent.mkdir(parents=True, exist_ok=True)
+        summary = (
+            f"# repro.analysis: {len(findings)} finding(s) "
+            f"across {files_checked} file(s)\n"
+        )
+        report.write_text(summary + "".join(line + "\n" for line in lines), encoding="utf-8")
+
+    if findings:
+        print(
+            f"repro.analysis: {len(findings)} finding(s) in {files_checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"repro.analysis: clean ({files_checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Registry of steady-state hot paths and the ``@hot_path`` decorator.
+
+A *hot path* is a function whose per-tick execution is part of a pinned
+performance contract: the incremental serving kernels are tracemalloc-pinned
+to zero steady-state allocation, and the fleet/POT/telemetry tick paths are
+benchmarked against allocation-driven regressions.  The
+``hot-alloc``/``hot-ufunc-out`` lint rules (:mod:`repro.analysis.rules`)
+flag numpy allocations inside registered functions so a new ``np.empty`` or
+an ``out=``-less ufunc cannot sneak into a tick unnoticed.
+
+Two registration mechanisms, both purely declarative:
+
+* the :data:`HOT_PATHS` manifest below — ``"path::qualname"`` keys matched
+  by path *suffix*, covering existing code without touching it;
+* the :func:`hot_path` decorator — for new code, mark the function where it
+  is defined.  The linter recognises the decorator syntactically; at
+  runtime it is a zero-cost identity wrapper.
+
+Tiers
+-----
+``"alloc"``
+    The function may not call allocating numpy constructors
+    (``np.empty``/``np.zeros``/``np.concatenate``/``np.stack``/… ) or the
+    allocating ``.copy()``/``.astype()`` methods.  Fresh result arrays that
+    intentionally outlive the tick carry a ``# repro: allow[hot-alloc]``
+    suppression with a justification.
+``"strict"``
+    Everything ``alloc`` forbids, plus every ufunc call must write into a
+    preallocated destination (``out=``).  This is the zero-allocation
+    contract of the incremental workspace kernels.
+"""
+
+from __future__ import annotations
+
+__all__ = ["HOT_PATHS", "hot_path"]
+
+#: ``"<path suffix>::<qualified name>"`` → tier.  Qualified names follow the
+#: lexical nesting of the AST (``Class.method``); the path is matched as a
+#: ``/``-separated suffix of the linted file's path.
+HOT_PATHS: dict[str, str] = {
+    # -- incremental serving: the zero-allocation tick kernels ------------
+    "repro/runtime/incremental.py::ScratchArena.get": "strict",
+    "repro/runtime/incremental.py::_ws_linear": "strict",
+    "repro/runtime/incremental.py::_ws_relu": "strict",
+    "repro/runtime/incremental.py::_ws_gelu": "strict",
+    "repro/runtime/incremental.py::_ws_sigmoid": "strict",
+    "repro/runtime/incremental.py::_sigmoid_inplace": "strict",
+    "repro/runtime/incremental.py::_ws_activation": "strict",
+    "repro/runtime/incremental.py::_ws_softmax_inplace": "strict",
+    "repro/runtime/incremental.py::_ws_layer_norm": "strict",
+    "repro/runtime/incremental.py::_ws_ffn": "strict",
+    "repro/runtime/incremental.py::_ws_attend": "strict",
+    "repro/runtime/incremental.py::_ws_self_attention": "strict",
+    "repro/runtime/incremental.py::_ws_cross_attention": "strict",
+    "repro/runtime/incremental.py::_ws_encoder_layer": "strict",
+    "repro/runtime/incremental.py::_ws_self_stage": "strict",
+    "repro/runtime/incremental.py::_ws_cross_stage": "strict",
+    "repro/runtime/incremental.py::_ws_decoder_layer": "strict",
+    "repro/runtime/incremental.py::IncrementalState.append": "strict",
+    "repro/runtime/incremental.py::IncrementalState._embed_row": "strict",
+    "repro/runtime/incremental.py::IncrementalState.score": "strict",
+    "repro/runtime/incremental.py::IncrementalState._score_full": "strict",
+    "repro/runtime/incremental.py::temporal_step": "strict",
+    "repro/runtime/incremental.py::noise_step": "strict",
+    "repro/runtime/incremental.py::model_step": "strict",
+    "repro/runtime/compiler.py::CompiledDetector.score_stack_step": "strict",
+    "repro/runtime/compiler.py::CompiledDetector.score_step": "strict",
+    # -- fleet serving tick ----------------------------------------------
+    "repro/streaming/fleet.py::FleetManager.step": "alloc",
+    "repro/streaming/fleet.py::FleetManager._step_inner": "alloc",
+    "repro/streaming/fleet.py::FleetManager._incremental_forward": "alloc",
+    "repro/streaming/fleet.py::FleetManager._record_tick_metrics": "alloc",
+    # -- per-star adaptive thresholds ------------------------------------
+    "repro/streaming/vector_pot.py::VectorizedIncrementalPOT.update": "alloc",
+    "repro/streaming/vector_pot.py::VectorizedIncrementalPOT._push_excesses": "alloc",
+    "repro/streaming/vector_pot.py::VectorizedIncrementalPOT._recompute_thresholds": "alloc",
+    # -- telemetry per-tick updates --------------------------------------
+    "repro/obs/metrics.py::Counter.inc": "alloc",
+    "repro/obs/metrics.py::Gauge.set": "alloc",
+    "repro/obs/metrics.py::Gauge.inc": "alloc",
+    "repro/obs/metrics.py::Histogram.observe": "alloc",
+    "repro/obs/metrics.py::Histogram.observe_many": "alloc",
+    "repro/obs/metrics.py::VectorCounter.add": "alloc",
+    "repro/obs/metrics.py::VectorCounter.inc_at": "alloc",
+    "repro/obs/metrics.py::VectorGauge.set": "alloc",
+    "repro/obs/metrics.py::VectorGauge.set_at": "alloc",
+    "repro/obs/drift.py::DriftMonitor.update": "alloc",
+}
+
+_TIERS = ("alloc", "strict")
+
+
+def hot_path(function=None, *, tier: str = "alloc"):
+    """Mark a function as a registered steady-state hot path.
+
+    Usable bare (``@hot_path``) or parameterised
+    (``@hot_path(tier="strict")``).  The lint rules match the decorator
+    *syntactically*, so marking a function is enough — no import-time
+    registration happens; at runtime the function is returned unchanged.
+    """
+    if tier not in _TIERS:
+        raise ValueError(f"hot_path tier must be one of {_TIERS}, got {tier!r}")
+    if function is None:
+        def decorate(inner):
+            inner.__hot_path_tier__ = tier
+            return inner
+        return decorate
+    function.__hot_path_tier__ = tier
+    return function

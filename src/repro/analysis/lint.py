@@ -1,0 +1,261 @@
+"""AST lint framework enforcing the repo's reproducibility contracts.
+
+The rules in :mod:`repro.analysis.rules` encode invariants that the test
+suite can only probe pointwise — *no wall-clock reads on serving paths*,
+*no unseeded RNG*, *no ``id()`` cache keys*, *no allocations in registered
+hot paths*, *no NaN-opaque transforms on score arrays* — as syntactic
+checks that run over every file on every CI run.
+
+Suppressions
+------------
+An intentional violation is silenced in place::
+
+    started = time.time()  # repro: allow[wallclock] -- report timestamp only
+
+The marker is ``# repro: allow[rule]`` (comma-separate several rules) on
+the **same line** as the finding; everything after the closing bracket is
+the justification.  Suppressions are themselves checked: an ``allow`` that
+silences nothing raises an ``unused-suppression`` finding, so stale
+annotations cannot accumulate.
+
+Entry points
+------------
+:func:`lint_source` checks one in-memory module, :func:`lint_file` one
+file, :func:`lint_paths` walks directories; ``python -m repro.analysis``
+wraps :func:`lint_paths` as the CI gate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+from .hotpath import HOT_PATHS
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "LintFinding",
+    "FileContext",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+#: Directories ``python -m repro.analysis`` walks when invoked bare, relative
+#: to the repository root.  Scripts under ``benchmarks/`` and ``examples/``
+#: are linted with the same determinism rules as the package — a benchmark
+#: that reads global RNG state is as unreproducible as a serving path that
+#: does.
+DEFAULT_TARGETS = ("src/repro", "benchmarks", "examples")
+
+_ALLOW_RE = re.compile(r"repro:\s*allow\[([^\]]*)\]")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+
+class _Suppression:
+    __slots__ = ("line", "rules", "used")
+
+    def __init__(self, line: int, rules: tuple[str, ...]):
+        self.line = line
+        self.rules = rules
+        self.used: set[str] = set()
+
+
+class FileContext:
+    """Parsed module plus everything the rules need to check it.
+
+    Exposes the AST, per-node qualified names (``Class.method`` following
+    lexical nesting), the hot-path tier of every function (manifest suffix
+    match or ``@hot_path`` decorator) and the suppression table parsed from
+    comment tokens (comments inside string literals are ignored).
+    """
+
+    def __init__(self, path: str, source: str):
+        self.path = str(Path(path).as_posix())
+        self.source = source
+        self.tree = ast.parse(source, filename=self.path)
+        self._qualnames: dict[ast.AST, str] = {}
+        self._hot_tiers: dict[ast.AST, str] = {}
+        self._suppressions: dict[int, _Suppression] = {}
+        self._collect_names(self.tree, prefix="")
+        self._collect_suppressions()
+
+    # ------------------------------------------------------------------
+    def _collect_names(self, node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                qualname = f"{prefix}{child.name}"
+                self._qualnames[child] = qualname
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    tier = self._resolve_hot_tier(child, qualname)
+                    if tier is not None:
+                        self._hot_tiers[child] = tier
+                self._collect_names(child, prefix=f"{qualname}.")
+            else:
+                self._collect_names(child, prefix=prefix)
+
+    def _resolve_hot_tier(self, node: ast.FunctionDef, qualname: str) -> str | None:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = dotted_name(target)
+            if name is not None and name.split(".")[-1] == "hot_path":
+                tier = "alloc"
+                if isinstance(decorator, ast.Call):
+                    for keyword in decorator.keywords:
+                        if keyword.arg == "tier" and isinstance(keyword.value, ast.Constant):
+                            tier = str(keyword.value.value)
+                    if decorator.args and isinstance(decorator.args[0], ast.Constant):
+                        tier = str(decorator.args[0].value)
+                return tier
+        for key, tier in HOT_PATHS.items():
+            manifest_path, _, manifest_name = key.partition("::")
+            if manifest_name == qualname and _path_matches(self.path, manifest_path):
+                return tier
+        return None
+
+    def _collect_suppressions(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _ALLOW_RE.search(token.string)
+                if match is None:
+                    continue
+                rules = tuple(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+                line = token.start[0]
+                self._suppressions[line] = _Suppression(line, rules)
+        except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+            pass
+
+    # ------------------------------------------------------------------
+    def qualname(self, node: ast.AST) -> str | None:
+        return self._qualnames.get(node)
+
+    def hot_functions(self) -> list[tuple[ast.AST, str, str]]:
+        """Registered hot paths in this file: ``(node, qualname, tier)``."""
+        return [
+            (node, self._qualnames[node], tier) for node, tier in self._hot_tiers.items()
+        ]
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> LintFinding:
+        return LintFinding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+    # ------------------------------------------------------------------
+    def filter_suppressed(self, findings: list[LintFinding]) -> list[LintFinding]:
+        """Drop suppressed findings; append unused-suppression findings."""
+        kept: list[LintFinding] = []
+        for finding in findings:
+            suppression = self._suppressions.get(finding.line)
+            if suppression is not None and finding.rule in suppression.rules:
+                suppression.used.add(finding.rule)
+            else:
+                kept.append(finding)
+        for suppression in self._suppressions.values():
+            for rule in suppression.rules:
+                if rule not in suppression.used:
+                    kept.append(
+                        LintFinding(
+                            path=self.path,
+                            line=suppression.line,
+                            col=1,
+                            rule="unused-suppression",
+                            message=(
+                                f"allow[{rule}] suppresses nothing on this line; "
+                                "remove the stale annotation"
+                            ),
+                        )
+                    )
+        kept.sort(key=lambda f: (f.line, f.col, f.rule))
+        return kept
+
+
+def _path_matches(path: str, suffix: str) -> bool:
+    parts = path.split("/")
+    suffix_parts = suffix.split("/")
+    return parts[-len(suffix_parts):] == suffix_parts
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+def lint_source(source: str, path: str = "<memory>", rules=None) -> list[LintFinding]:
+    """Lint one module's source; returns unsuppressed findings, sorted."""
+    if rules is None:
+        from .rules import RULES as rules
+    try:
+        context = FileContext(path, source)
+    except SyntaxError as error:
+        return [
+            LintFinding(
+                path=str(Path(path).as_posix()),
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                rule="syntax-error",
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    findings: list[LintFinding] = []
+    for rule in rules:
+        findings.extend(rule.check(context))
+    return context.filter_suppressed(findings)
+
+
+def lint_file(path, rules=None) -> list[LintFinding]:
+    source = Path(path).read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), rules=rules)
+
+
+def lint_paths(paths, rules=None) -> tuple[list[LintFinding], int]:
+    """Lint every ``*.py`` under ``paths``; ``(findings, files_checked)``."""
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(entry.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif entry.suffix == ".py":
+            files.append(entry)
+    findings: list[LintFinding] = []
+    for file in files:
+        findings.extend(lint_file(file, rules=rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(files)

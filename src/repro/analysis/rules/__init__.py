@@ -1,0 +1,31 @@
+"""Rule registry for the static invariant linter.
+
+Every rule is an object with a ``name`` (the id used in
+``# repro: allow[name]`` suppressions), a one-line ``description`` (shown
+by ``python -m repro.analysis --rules``) and a
+``check(context) -> list[LintFinding]`` method over a parsed
+:class:`~repro.analysis.lint.FileContext`.
+"""
+
+from .allocations import HotPathAllocRule, HotPathUfuncOutRule
+from .determinism import (
+    IdCacheKeyRule,
+    SetOrderRule,
+    UnseededRngRule,
+    WallClockRule,
+)
+from .numerics import Float32LiteralRule, NanTransparencyRule
+
+__all__ = ["RULES"]
+
+#: The default rule set, in reporting order.
+RULES = (
+    WallClockRule(),
+    UnseededRngRule(),
+    IdCacheKeyRule(),
+    SetOrderRule(),
+    HotPathAllocRule(),
+    HotPathUfuncOutRule(),
+    NanTransparencyRule(),
+    Float32LiteralRule(),
+)

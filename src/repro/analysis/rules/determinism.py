@@ -1,0 +1,228 @@
+"""Determinism rules: wall clocks, RNG state, ``id()`` keys, set ordering.
+
+The repro's serving and training paths promise bit-identical replays:
+the same inputs, the same seeds, the same outputs — across reruns, worker
+counts and checkpoint resumes.  Each rule here flags one way that promise
+silently breaks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..lint import FileContext, LintFinding, dotted_name
+
+__all__ = ["WallClockRule", "UnseededRngRule", "IdCacheKeyRule", "SetOrderRule"]
+
+#: Monotonic clocks (``time.perf_counter``/``perf_counter_ns``/``monotonic``)
+#: measure *durations* and are fine on any path; these read the wall clock,
+#: whose value can never be replayed.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+#: ``np.random`` attributes that do NOT touch the hidden global RNG stream.
+_SEEDED_RNG_API = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+def _numpy_random_member(name: str | None) -> str | None:
+    """The member name for ``np.random.X`` / ``numpy.random.X`` chains."""
+    if name is None:
+        return None
+    parts = name.split(".")
+    for index in range(len(parts) - 1):
+        if parts[index] in ("np", "numpy") and parts[index + 1] == "random":
+            remainder = parts[index + 2:]
+            if remainder:
+                return remainder[0]
+    return None
+
+
+class WallClockRule:
+    name = "wallclock"
+    description = (
+        "no wall-clock reads (time.time, datetime.now, ...) — a replayed tick "
+        "must see the data's timeline, not the host's; use time.perf_counter "
+        "for durations"
+    )
+
+    def check(self, context: FileContext) -> list[LintFinding]:
+        findings = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            tail = ".".join(name.split(".")[-2:])
+            if name in _WALL_CLOCK_CALLS or tail in _WALL_CLOCK_CALLS:
+                findings.append(
+                    context.finding(
+                        node, self.name,
+                        f"wall-clock read {name}() is not replayable; derive time "
+                        "from the data timeline (or perf_counter for durations)",
+                    )
+                )
+        return findings
+
+
+class UnseededRngRule:
+    name = "unseeded-rng"
+    description = (
+        "no global/unseeded RNG state: stdlib random, np.random.<fn> module "
+        "functions, or np.random.default_rng() without a seed"
+    )
+
+    def check(self, context: FileContext) -> list[LintFinding]:
+        findings = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        findings.append(
+                            context.finding(
+                                node, self.name,
+                                "stdlib random is hidden global state; use "
+                                "np.random.default_rng(seed)",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(
+                        context.finding(
+                            node, self.name,
+                            "stdlib random is hidden global state; use "
+                            "np.random.default_rng(seed)",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                member = _numpy_random_member(dotted_name(node.func))
+                if member is None:
+                    continue
+                if member == "RandomState":
+                    findings.append(
+                        context.finding(
+                            node, self.name,
+                            "np.random.RandomState is the legacy global-stream "
+                            "API; use np.random.default_rng(seed)",
+                        )
+                    )
+                elif member == "default_rng":
+                    if not node.args and not node.keywords:
+                        findings.append(
+                            context.finding(
+                                node, self.name,
+                                "np.random.default_rng() with no seed draws OS "
+                                "entropy; pass an explicit seed",
+                            )
+                        )
+                elif member not in _SEEDED_RNG_API:
+                    findings.append(
+                        context.finding(
+                            node, self.name,
+                            f"np.random.{member} mutates the hidden global RNG "
+                            "stream; thread a np.random.default_rng(seed) "
+                            "Generator instead",
+                        )
+                    )
+        return findings
+
+
+class IdCacheKeyRule:
+    name = "id-key"
+    description = (
+        "no id() values as cache/set keys — CPython recycles addresses, so a "
+        "dead object's key aliases a live one (the PR 8 _self_stage_cache "
+        "regression); key on content or minted tokens"
+    )
+
+    def check(self, context: FileContext) -> list[LintFinding]:
+        findings = []
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1
+            ):
+                findings.append(
+                    context.finding(
+                        node, self.name,
+                        "id() is only unique while the object is alive; a "
+                        "recycled address aliases a different object — key on "
+                        "content or a monotonic token",
+                    )
+                )
+        return findings
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        # set algebra keeps set-ness: (a | b), (a & b), (a - b)
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+class SetOrderRule:
+    name = "set-order"
+    description = (
+        "no iteration over sets where the order can reach output (loops, "
+        "list()/tuple()/join over a set): hash order varies across runs; "
+        "wrap in sorted()"
+    )
+
+    _MESSAGE = (
+        "set iteration order is not deterministic across processes; wrap the "
+        "set in sorted() before iterating"
+    )
+
+    def check(self, context: FileContext) -> list[LintFinding]:
+        findings = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expression(node.iter):
+                findings.append(context.finding(node.iter, self.name, self._MESSAGE))
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expression(generator.iter):
+                        findings.append(
+                            context.finding(generator.iter, self.name, self._MESSAGE)
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in ("list", "tuple", "enumerate")
+                    and node.args
+                    and _is_set_expression(node.args[0])
+                ):
+                    findings.append(context.finding(node.args[0], self.name, self._MESSAGE))
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and node.args
+                    and _is_set_expression(node.args[0])
+                ):
+                    findings.append(context.finding(node.args[0], self.name, self._MESSAGE))
+        return findings

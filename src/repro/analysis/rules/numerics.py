@@ -1,0 +1,146 @@
+"""Numerics rules: NaN transparency and float64 bit-equality hygiene.
+
+NaN is load-bearing in this codebase: a non-finite score *is* the "no
+observation this tick" signal that the POT state, alert streaks and drift
+sketches are all contractually transparent to.  Replacing NaNs with
+numbers (``np.nan_to_num``) or comparing against NaN with ``==``/``!=``
+silently converts a survey gap into a fake observation.
+
+The float32 rule guards the other direction: the serving stack's
+bit-for-bit guarantee is a *float64* contract, and plans are generic over
+an opt-in dtype — a hard-coded float32 literal or cast inside one of those
+modules would quietly fork the numerics.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..lint import FileContext, LintFinding, dotted_name
+
+__all__ = ["NanTransparencyRule", "Float32LiteralRule"]
+
+#: Module path prefixes under the float64 bit-equality contract.  Generic
+#: dtype plumbing (``dtype=self.dtype``, ``np.dtype(...)`` resolution) is
+#: untouched — only hard-coded float32 is flagged.
+_BIT_EQUALITY_PATHS = (
+    "repro/runtime/",
+    "repro/streaming/",
+    "repro/nn/",
+    "repro/core/",
+    "repro/evaluation/",
+)
+
+
+def _is_nan_constant(node: ast.AST) -> bool:
+    name = dotted_name(node)
+    if name is not None and name.split(".")[-1] in ("nan", "NaN", "NAN"):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and str(node.args[0].value).lower() in ("nan", "-nan")
+    ):
+        return True
+    return False
+
+
+class NanTransparencyRule:
+    name = "nan-transparency"
+    description = (
+        "no np.nan_to_num and no ==/!= comparisons against NaN: non-finite "
+        "scores mean 'no observation' and must flow through POT/streaming "
+        "state untouched; use np.isfinite/np.isnan masks"
+    )
+
+    def check(self, context: FileContext) -> list[LintFinding]:
+        findings = []
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is not None and name.split(".")[-1] == "nan_to_num":
+                    findings.append(
+                        context.finding(
+                            node, self.name,
+                            "np.nan_to_num turns a survey gap into a fake "
+                            "observation; mask with np.isfinite and keep the "
+                            "NaN no-op contract instead",
+                        )
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                if any(_is_nan_constant(operand) for operand in operands) and any(
+                    isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+                ):
+                    findings.append(
+                        context.finding(
+                            node, self.name,
+                            "comparing against NaN with ==/!= is always "
+                            "False/True (IEEE-754); use np.isnan",
+                        )
+                    )
+        return findings
+
+
+def _is_float32(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and node.value == "float32":
+        return True
+    name = dotted_name(node)
+    return name is not None and name.split(".")[-1] == "float32"
+
+
+class Float32LiteralRule:
+    name = "float32-literal"
+    description = (
+        "no hard-coded float32 dtypes/casts inside float64 bit-equality "
+        "modules (runtime/streaming/nn/core/evaluation); single precision is "
+        "an explicit dtype= opt-in at the compile boundary"
+    )
+
+    def check(self, context: FileContext) -> list[LintFinding]:
+        if not any(prefix in context.path for prefix in _BIT_EQUALITY_PATHS):
+            return []
+        findings = []
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is not None and name.split(".")[-1] == "float32":
+                findings.append(
+                    context.finding(
+                        node, self.name,
+                        "float32(...) cast inside a float64 bit-equality "
+                        "module; plans opt into single precision only via the "
+                        "compile-time dtype parameter",
+                    )
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and _is_float32(node.args[0])
+            ):
+                findings.append(
+                    context.finding(
+                        node, self.name,
+                        ".astype(float32) inside a float64 bit-equality module "
+                        "forks the numerics; keep the module generic over the "
+                        "plan dtype",
+                    )
+                )
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "dtype" and _is_float32(keyword.value):
+                    findings.append(
+                        context.finding(
+                            node, self.name,
+                            "dtype=float32 literal inside a float64 "
+                            "bit-equality module; thread the plan dtype "
+                            "instead of hard-coding single precision",
+                        )
+                    )
+        return findings

@@ -498,12 +498,12 @@ class Tensor:
             if processed:
                 order.append(node)
                 continue
-            if id(node) in visited:
+            if id(node) in visited:  # repro: allow[id-key] -- visited-set for one walk; every keyed node is alive on `stack`/`order`, so no address can recycle mid-walk
                 continue
-            visited.add(id(node))
+            visited.add(id(node))  # repro: allow[id-key] -- same walk-scoped visited-set
             stack.append((node, True))
             for parent in node._parents:
-                if id(parent) not in visited:
+                if id(parent) not in visited:  # repro: allow[id-key] -- same walk-scoped visited-set
                     stack.append((parent, False))
 
         for node in reversed(order):

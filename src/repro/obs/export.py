@@ -242,7 +242,7 @@ def write_jsonl_snapshot(
     """Append one snapshot line to ``path`` (created, with parents, if needed)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    record = {"time": time.time() if timestamp is None else float(timestamp)}
+    record = {"time": time.time() if timestamp is None else float(timestamp)}  # repro: allow[wallclock] -- snapshot provenance stamp; callers pass `timestamp` for replayable exports
     record.update(snapshot(registry))
     with path.open("a") as handle:
         handle.write(json.dumps(_sanitize(record), allow_nan=False) + "\n")

@@ -247,7 +247,7 @@ class CompiledDetector:
         """
         state.append(rows, timestamp)
         if not state.warm:
-            return np.full((state.num_stacks, state.num_variates), np.nan)
+            return np.full((state.num_stacks, state.num_variates), np.nan)  # repro: allow[hot-alloc] -- warm-up ticks only; the emitted result must outlive the tick
         return state.score()
 
     def score_step(self, state, row: np.ndarray, timestamp=None) -> np.ndarray:
@@ -319,13 +319,21 @@ class CompiledDetector:
         return (self.score(series, timestamps) >= self.threshold).astype(np.int64)
 
 
-def compile_detector(detector: "AeroDetector", dtype="float64") -> CompiledDetector:
+def compile_detector(detector: "AeroDetector", dtype="float64", verify: bool = False) -> CompiledDetector:
     """Export a fitted :class:`AeroDetector` into a :class:`CompiledDetector`.
 
     Captures the model weights, the fitted scaler statistics, the
     training-tail scoring context and the train-calibrated POT threshold.
     The detector must be fitted; the compiled artifact is fully decoupled
     from it afterwards (re-fitting the detector does not change the plan).
+
+    ``verify=True`` runs :func:`repro.analysis.plancheck.verify_model` on
+    the exported plan before returning — structural shape/dtype checks
+    plus an instrumented incremental drive per layout, compared against
+    the full forward — raising
+    :class:`~repro.analysis.plancheck.PlanVerificationError` on any issue.
+    Verification restores all observable serving state, so a verified
+    detector scores exactly what an unverified one does.
     """
     model = detector._require_fitted()
     dtype = _resolve_dtype(dtype)
@@ -333,7 +341,7 @@ def compile_detector(detector: "AeroDetector", dtype="float64") -> CompiledDetec
     scaler.data_min_ = detector.scaler.data_min_.copy()
     scaler.data_max_ = detector.scaler.data_max_.copy()
     tail, tail_times = detector.window_context()
-    return CompiledDetector(
+    compiled = CompiledDetector(
         model=compile_model(model, dtype=dtype),
         config=detector.config,
         scaler=scaler,
@@ -341,3 +349,8 @@ def compile_detector(detector: "AeroDetector", dtype="float64") -> CompiledDetec
         train_tail=None if tail is None else np.array(tail, dtype=np.float64),
         train_tail_times=None if tail_times is None else np.array(tail_times, dtype=np.float64),
     )
+    if verify:
+        from ..analysis.plancheck import verify_detector
+
+        verify_detector(compiled).raise_if_failed()
+    return compiled

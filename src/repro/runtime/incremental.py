@@ -89,7 +89,7 @@ class ScratchArena:
     def get(self, name: str, shape: tuple, dtype) -> np.ndarray:
         buffer = self._buffers.get(name)
         if buffer is None or buffer.shape != tuple(shape) or buffer.dtype != np.dtype(dtype):
-            buffer = np.empty(shape, dtype=dtype)
+            buffer = np.empty(shape, dtype=dtype)  # repro: allow[hot-alloc] -- first-touch/geometry-change only; steady-state ticks hit the cached slot
             self._buffers[name] = buffer
         return buffer
 
@@ -866,6 +866,6 @@ def model_step(model: "CompiledModel", state: IncrementalState) -> np.ndarray:
         noise_last = noise_step(model.noise, state, errors, target)
         residual_last = arena.get("model.residual", target.shape[:2], model.dtype)
         np.subtract(errors[:, :, -1], noise_last, out=residual_last)
-        return np.abs(residual_last)
+        return np.abs(residual_last)  # repro: allow[hot-ufunc-out] -- the one allowed allocation per tick: the emitted score vector outlives the arena
     # Ablated noise module reconstructs zeros: the residual IS the errors.
-    return np.abs(errors[:, :, -1])
+    return np.abs(errors[:, :, -1])  # repro: allow[hot-ufunc-out] -- emitted score vector, same as above

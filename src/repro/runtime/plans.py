@@ -124,6 +124,10 @@ class AttentionPlan:
         self.bqkv = np.stack([bq, bk, bv])[:, None, None, :]
         self.wkv = np.stack([wk, wv])
         self.bkv = np.stack([bk, bv])[:, None, None, :]
+        # The stacked blocks are as load-bearing as the per-projection
+        # weights they restack — same freeze contract.
+        for stacked in (self.wqkv, self.bqkv, self.wkv, self.bkv):
+            stacked.flags.writeable = False
         self.num_heads = num_heads
         self.d_head = wq.shape[1] // num_heads
         # Same value as the autograd path's ``1.0 / np.sqrt(d_k)``.

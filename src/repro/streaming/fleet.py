@@ -577,8 +577,8 @@ class FleetManager:
                 self._record_tick_metrics(missing, masked, any_missing, any_masked)
 
         if not self._buffers[0].is_full:
-            scores = np.full((self.num_shards, self.num_variates), np.nan)
-            labels = np.zeros((self.num_shards, self.num_variates), dtype=np.int64)
+            scores = np.full((self.num_shards, self.num_variates), np.nan)  # repro: allow[hot-alloc] -- warm-up ticks only (buffer not yet full); results outlive the tick
+            labels = np.zeros((self.num_shards, self.num_variates), dtype=np.int64)  # repro: allow[hot-alloc] -- warm-up ticks only, same as above
             return FleetStepResult(
                 step=step_index, scores=scores, labels=labels,
                 threshold=self.threshold, thresholds=self._current_thresholds(),
@@ -609,7 +609,7 @@ class FleetManager:
             # star that was not observed this tick — or is re-arming after a
             # dropout — has no trustworthy score: emit NaN so labels, POT
             # state and alert streaks all treat it as a gap.
-            scores = scores.copy() if not scores.flags.writeable else scores
+            scores = scores.copy() if not scores.flags.writeable else scores  # repro: allow[hot-alloc] -- copy-on-write for masked ticks only; unmasked steady state takes the no-copy branch
             scores[masked] = np.nan
         with self._tracer.span("fleet.thresholds"):
             if self.adaptive_pot is not None:
@@ -621,7 +621,7 @@ class FleetManager:
                 labels = self.adaptive_pot.update(scores.ravel()).reshape(scores.shape)
             else:
                 thresholds = self._current_thresholds()
-                labels = (scores >= self.threshold).astype(np.int64)
+                labels = (scores >= self.threshold).astype(np.int64)  # repro: allow[hot-alloc] -- the emitted label array must outlive the tick
         with self._tracer.span("fleet.alerts"):
             if self.adaptive_pot is not None:
                 alerts = self.alert_policy.update(

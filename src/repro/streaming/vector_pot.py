@@ -279,7 +279,7 @@ class VectorizedIncrementalPOT:
                     "pot_refits_total", "Per-star adaptive GPD threshold re-fits"
                 ).inc(int(due.size))
         self._recompute_thresholds()
-        return alarms.astype(np.int64).reshape(scores.shape)
+        return alarms.astype(np.int64).reshape(scores.shape)  # repro: allow[hot-alloc] -- the emitted alarm array must outlive the tick
 
     def _push_excesses(self, stars: np.ndarray, excesses: np.ndarray) -> None:
         self._ensure_capacity(int(self._counts[stars].max()) + 1)
@@ -297,7 +297,7 @@ class VectorizedIncrementalPOT:
         # most one excess per star, so the trim always drops exactly the
         # oldest excess.
         counts = self._counts[over]
-        rescaled = np.rint(self._num_observations[over] * keep / counts).astype(np.int64)
+        rescaled = np.rint(self._num_observations[over] * keep / counts).astype(np.int64)  # repro: allow[hot-alloc] -- trim branch only; `over` holds the handful of stars past the cap, not the fleet
         self._num_observations[over] = np.maximum(rescaled, keep)
         self._pool[over, :keep] = self._pool[over, 1 : keep + 1]
         self._counts[over] = keep
@@ -319,7 +319,7 @@ class VectorizedIncrementalPOT:
         ``|shape| < 1e-9``), same clamp at the initial threshold — computed
         element-wise over the fleet instead of per star.
         """
-        thresholds = self.initial_thresholds.copy()
+        thresholds = self.initial_thresholds.copy()  # repro: allow[hot-alloc] -- the recomputed threshold vector is retained across ticks (snapshotted by results), so it cannot reuse a workspace
         fitted = np.flatnonzero(self._has_fit)
         if fitted.size:
             thresholds[fitted] = gpd_tail_thresholds(

@@ -658,7 +658,10 @@ class TrainingSession:
         self._epoch = int(meta["epoch"])
         self._stop = bool(meta["stop"])
         self._done = bool(meta["done"])
-        rng = np.random.default_rng()
+        # Seed is irrelevant (the generator state is overwritten from the
+        # checkpoint on the next line) but an unseeded default_rng() would
+        # still draw OS entropy for nothing.
+        rng = np.random.default_rng(0)
         rng.bit_generator.state = meta["rng"]
         self._rng = rng
 
