@@ -14,7 +14,11 @@ Measures, on the seeded golden survey night (``ScenarioConfig(seed=7)``):
   collection, event scoring) relative to the plain tick loop;
 * **drift-monitor overhead** — the same night served with the full
   model-quality stack attached (:class:`repro.obs.DriftMonitor` +
-  :class:`repro.obs.FlightRecorder`), relative to the plain tick loop.
+  :class:`repro.obs.FlightRecorder`), relative to the plain tick loop;
+* **continual loop** — the same night served through a
+  :class:`repro.training.ContinualLearningController` (the golden night's
+  baseline drift trips the monitor mid-night), recording the loop's
+  decision counters, retrain cost and end-to-end overhead.
 
 The JSON is committed next to this script as a longitudinal *trajectory*:
 a list of dated run records, appended to on every invocation, so serving
@@ -35,6 +39,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -50,6 +55,7 @@ from repro.evaluation import pot_threshold  # noqa: E402
 from repro.obs import FlightRecorder, calibrate_drift_monitor  # noqa: E402
 from repro.simulation import ReplayHarness, ScenarioConfig, build_scenario  # noqa: E402
 from repro.streaming import AlertPolicy, FleetManager  # noqa: E402
+from repro.training import ContinualLearningController, ModelRegistry  # noqa: E402
 
 SEED = 7
 POT_Q = 5e-3
@@ -118,8 +124,36 @@ def record() -> dict:
     monitored.run(scenario.exposures, scenario.timestamps)
     drift_seconds = time.perf_counter() - started
 
+    # --- continual loop: drift trips → retrain → canary → promote ---------
+    loop_fleet = _build_fleet(
+        detector, scenario, threshold,
+        drift_monitor=calibrate_drift_monitor(
+            calibration_scores, num_stars=scenario.num_stars
+        ),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        controller = ContinualLearningController(
+            loop_fleet,
+            ModelRegistry(root / "registry"),
+            "bench-model",
+            root / "work",
+            seed=SEED,
+        )
+        started = time.perf_counter()
+        for tick in range(scenario.exposures.shape[0]):
+            controller.step(
+                scenario.exposures[tick], float(scenario.timestamps[tick])
+            )
+        continual_seconds = time.perf_counter() - started
+    retrain_seconds = sum(
+        event.detail.get("duration_seconds", 0.0)
+        for event in controller.events
+        if event.kind == "retrain"
+    )
+
     return {
-        "schema": "bench-streaming/v3",
+        "schema": "bench-streaming/v4",
         "recorded_unix": time.time(),  # repro: allow[wallclock] -- provenance stamp in the report, not an input to any measurement
         "repro_version": __version__,
         "platform": {
@@ -166,6 +200,15 @@ def record() -> dict:
             "tripped_stars": monitored.drift_monitor.tripped_stars,
             "flight_dumps": len(monitored.recorder.records),
         },
+        "continual": {
+            "seconds": round(continual_seconds, 4),
+            "overhead_vs_plain": round(continual_seconds / plain_seconds, 3),
+            "retrain_seconds": round(retrain_seconds, 3),
+            "cycles": controller.cycles,
+            "live_version": controller.live_version,
+            "tripped_stars_final": loop_fleet.drift_monitor.tripped_stars,
+            "decisions": controller.decision_counts(),
+        },
     }
 
 
@@ -193,9 +236,9 @@ def main(argv: list[str] | None = None) -> int:
     record_dict = record()
     trajectory.append(record_dict)
     path.write_text(json.dumps(trajectory, indent=2) + "\n")
-    fleet, incremental, replay, drift = (
+    fleet, incremental, replay, drift, continual = (
         record_dict["fleet"], record_dict["incremental"],
-        record_dict["replay"], record_dict["drift"],
+        record_dict["replay"], record_dict["drift"], record_dict["continual"],
     )
     print(f"wrote {path} ({len(trajectory)} run{'s' if len(trajectory) != 1 else ''})")
     print(
@@ -205,6 +248,12 @@ def main(argv: list[str] | None = None) -> int:
         f"({incremental['rebuilds']} rebuilds); "
         f"replay overhead {replay['overhead_vs_plain']:.2f}x; "
         f"drift overhead {drift['overhead_vs_plain']:.2f}x"
+    )
+    print(
+        f"continual: {continual['cycles']} cycle(s) -> v{continual['live_version']:04d} "
+        f"({continual['retrain_seconds']:.2f} s retraining, "
+        f"{continual['overhead_vs_plain']:.2f}x overhead); "
+        f"decisions {continual['decisions']}"
     )
     return 0
 

@@ -1,0 +1,139 @@
+"""Closed-loop continual learning: drift trips → retrain → canary → promote.
+
+The paper's fleet is meant to run unattended for months, but a fixed model
+goes stale the first time the instrument refocuses or the seasonal
+baseline moves.  This walkthrough closes the loop that keeps it serving:
+a :class:`~repro.training.ContinualLearningController` wrapped around the
+live :class:`~repro.streaming.FleetManager`, watching its drift monitor
+and deciding — with no human in the loop — when to retrain, whether the
+candidate is safe to promote, and whether a fresh promotion has to be
+rolled back.
+
+1. build quiet and drift-faulted variants of one survey night (shared,
+   bit-identical train/calibration stretches), fit one detector and one
+   drift reference for both;
+2. serve the *drifted* night through the controller: the monitor trips
+   mid-night, the loop fine-tunes a candidate on the recorded traffic
+   ring (warm-started from the live registry artifact), shadow-scores it
+   against the live model with synthetic probes injected, and gates
+   promotion on explicit budgets (recall, quiet-star false alerts, score
+   PSI).  An under-trained first candidate is *rejected* by the recall
+   gate; the second, trained on more history, passes, is published with
+   fresh calibration + drift sidecars, deployed, and survives its watch
+   window;
+3. serve the *quiet* night through an identical controller: it never
+   triggers — the baseline version serves untouched end to end;
+4. every decision is a structured :class:`~repro.training.LoopEvent`, and
+   the whole loop is deterministic under its seed.
+
+Run with:  PYTHONPATH=src python examples/continual_loop.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AeroConfig, AeroDetector
+from repro.evaluation import pot_threshold
+from repro.obs import calibrate_drift_monitor
+from repro.simulation import ReplayHarness, ScenarioConfig, build_scenario
+from repro.streaming import AlertPolicy, FleetManager
+from repro.training import ContinualLearningController, ModelRegistry
+
+#: A long clean-cadence night so the full trigger → reject → retrigger →
+#: promote → watch-clear arc fits inside one run.
+NIGHT = dict(
+    seed=11, train_length=240, calibration_length=160, night_length=280,
+    num_events=0, num_dropouts=0, nan_fraction=0.0,
+    num_duplicate_frames=0, num_reordered_frames=0,
+)
+
+MONITOR = dict(
+    halflife=48, check_interval=4, min_observations=64, warmup_ticks=48,
+    psi_trip=1.0, psi_clear=0.30, ks_trip=0.60, ks_clear=0.20,
+    trip_after=2, clear_after=8,
+)
+
+
+def build_controller(scenario, detector, cal_scores, threshold, root):
+    fleet = FleetManager(
+        detector,
+        num_shards=scenario.config.num_shards,
+        alert_policy=AlertPolicy(min_consecutive=2, cooldown=30),
+        threshold=threshold,
+        drift_monitor=calibrate_drift_monitor(
+            cal_scores, num_stars=scenario.num_stars, **MONITOR
+        ),
+    )
+    controller = ContinualLearningController(
+        fleet,
+        ModelRegistry(root / "registry"),
+        "gwac-field",
+        root / "work",
+        history_ticks=160, min_history_ticks=80, calibration_ticks=48,
+        cooldown_ticks=48, watch_ticks=48, pot_q=5e-3, seed=23,
+    )
+    return controller, fleet
+
+
+def main() -> None:
+    # --- 1. one night, two variants, one detector -----------------------
+    quiet = build_scenario(ScenarioConfig(num_drift_stars=0, **NIGHT))
+    drifted = build_scenario(
+        ScenarioConfig(num_drift_stars=2, drift_amplitude=1.0, **NIGHT)
+    )
+    assert np.array_equal(quiet.train, drifted.train)
+
+    config = AeroConfig.fast(window=24, short_window=8).scaled(
+        max_epochs_stage1=2, max_epochs_stage2=1, learning_rate=5e-3,
+        d_model=16, num_heads=2, train_stride=3, batch_size=16,
+    )
+    detector = AeroDetector(config)
+    detector.fit(quiet.train, quiet.train_timestamps)
+    cal_scores = detector.score(quiet.calibration, quiet.calibration_timestamps)
+    threshold = float(pot_threshold(cal_scores, q=5e-3))
+    print(f"live model calibrated: serving threshold {threshold:.3f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # --- 2. the drifted night closes the loop -----------------------
+        controller, fleet = build_controller(
+            drifted, detector, cal_scores, threshold, Path(tmp) / "drifted"
+        )
+        ReplayHarness(controller, drifted).run()
+
+        print(f"\ndrifted night — {len(controller.events)} loop decisions:")
+        for event in controller.events:
+            print(f"  {event.format()}")
+
+        fail = next(e for e in controller.events if e.kind == "canary_fail")
+        print(f"\ncycle 1 rejected by gates {fail.detail['failed_gates']}: "
+              f"candidate recall {fail.detail['candidate_recall']:.3f} vs "
+              f"live {fail.detail['live_recall']:.3f} — an under-trained "
+              f"candidate never reaches the fleet")
+        promote = next(e for e in controller.events if e.kind == "promote")
+        print(f"cycle 2 promoted v{promote.detail['version']:04d} at tick "
+              f"{promote.step} (threshold {promote.detail['threshold']:.3f}) "
+              f"and survived its watch window")
+        print(f"now serving: {fleet.model_version} "
+              f"(threshold {float(fleet.threshold):.3f}, "
+              f"{fleet.drift_monitor.tripped_stars} stars still tripped)")
+        assert controller.live_version == 2
+        assert fleet.drift_monitor.tripped_stars == 0
+
+        # --- 3. the quiet night never triggers --------------------------
+        controller, fleet = build_controller(
+            quiet, detector, cal_scores, threshold, Path(tmp) / "quiet"
+        )
+        ReplayHarness(controller, quiet).run()
+        kinds = [event.kind for event in controller.events]
+        print(f"\nquiet night — loop decisions: {kinds}")
+        print(f"still serving: {fleet.model_version} "
+              f"(threshold {float(fleet.threshold):.3f}, "
+              f"{fleet.drift_monitor.trips_total} drift trips all night)")
+        assert kinds == ["baseline"]
+        assert controller.cycles == 0
+
+
+if __name__ == "__main__":
+    main()

@@ -53,7 +53,7 @@ from .obs import (
     render_prometheus,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AeroConfig",

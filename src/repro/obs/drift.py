@@ -201,6 +201,30 @@ class DriftMonitor:
         )
 
     # ------------------------------------------------------------------
+    def settings(self) -> dict:
+        """Constructor kwargs reproducing this monitor's configuration.
+
+        Hands the hysteresis policy and sketch geometry to code that must
+        fit a *fresh* reference under the same rules — e.g. the continual
+        learning loop calibrating a retrained candidate's drift sidecar
+        against the live monitor's trip thresholds.  Telemetry sinks are
+        not included; the rebuilt monitor captures its own.
+        """
+        return {
+            "halflife": self.halflife,
+            "quantiles": self.quantiles,
+            "num_bins": self.num_bins,
+            "psi_trip": self.psi_trip,
+            "psi_clear": self.psi_clear,
+            "ks_trip": self.ks_trip,
+            "ks_clear": self.ks_clear,
+            "check_interval": self.check_interval,
+            "trip_after": self.trip_after,
+            "clear_after": self.clear_after,
+            "min_observations": self.min_observations,
+            "warmup_ticks": self.warmup_ticks,
+        }
+
     @property
     def num_stars(self) -> int:
         return 0 if self.ref_probs is None else int(self.ref_probs.shape[0])

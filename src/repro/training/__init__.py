@@ -12,7 +12,13 @@ package scales *producing and refreshing* the models behind them.
   seeds and isolated failures;
 * :mod:`~repro.training.registry` — :class:`ModelRegistry`, versioned
   on-disk artifacts feeding the serving fleet, including hot swaps into a
-  running :class:`~repro.streaming.FleetManager`.
+  running :class:`~repro.streaming.FleetManager`;
+* :mod:`~repro.training.canary` — shadow-canary evaluation of a retrained
+  candidate against the live model on recorded traffic, with explicit
+  recall / quiet-star / PSI promotion budgets;
+* :mod:`~repro.training.loop` — :class:`ContinualLearningController`, the
+  closed loop: drift-triggered warm-start retrains, canary-gated
+  promotion, post-deploy watch window with automatic rollback.
 
 Everything logs under the ``repro.training`` logger namespace.
 """
@@ -20,6 +26,17 @@ Everything logs under the ``repro.training`` logger namespace.
 from .session import EarlyStopping, TrainingHistory, TrainingSession
 from .fleet import FleetTrainer, FleetTrainingReport, StarResult, StarTask
 from .registry import ModelRegistry, ModelVersion
+from .canary import (
+    CanaryBudget,
+    CanaryReport,
+    GateResult,
+    ProbeEvent,
+    ShadowTraffic,
+    evaluate_canary,
+    inject_probes,
+    score_psi,
+)
+from .loop import ContinualLearningController, LoopEvent
 
 __all__ = [
     "TrainingSession",
@@ -31,4 +48,14 @@ __all__ = [
     "StarResult",
     "ModelRegistry",
     "ModelVersion",
+    "CanaryBudget",
+    "CanaryReport",
+    "GateResult",
+    "ProbeEvent",
+    "ShadowTraffic",
+    "evaluate_canary",
+    "inject_probes",
+    "score_psi",
+    "ContinualLearningController",
+    "LoopEvent",
 ]

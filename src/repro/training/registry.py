@@ -45,11 +45,13 @@ server never observes a half-written version.
 
 from __future__ import annotations
 
+import inspect
 import json
 import logging
 import re
 import shutil
 import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -255,8 +257,13 @@ class ModelRegistry:
         model_dir = self.root / name
         model_dir.mkdir(parents=True, exist_ok=True)
 
-        for attempt in range(self._PUBLISH_RETRIES):
-            version = (self.versions(name) or [0])[-1] + 1 + attempt
+        for _attempt in range(self._PUBLISH_RETRIES):
+            # Re-reading the published versions is the whole retry story: a
+            # lost race means the winner's directory is now visible, so the
+            # next read already lands one past it.  (Adding the attempt
+            # index on top double-advanced and left permanent gaps in the
+            # version sequence.)
+            version = (self.versions(name) or [0])[-1] + 1
             # Publisher-unique staging: concurrent publishers must never
             # share (or clean up) each other's in-flight directories.
             staging = Path(tempfile.mkdtemp(prefix=".staging-", dir=model_dir))
@@ -378,6 +385,7 @@ class ModelRegistry:
         dtype=None,
         restore_calibration: bool = True,
         restore_drift: bool = True,
+        threshold: float | None = None,
     ):
         """Hot-swap a published version into a running serving front-end.
 
@@ -401,11 +409,26 @@ class ModelRegistry:
         replaces the target's after the swap — the new model is watched
         against its own calibration snapshot, not the old model's.  A
         target without a drift monitor is left alone (attach one, or call
-        ``load_drift_state`` yourself, to opt in).  Star-count mismatches
-        are rejected *before* the swap, so a failed deploy never leaves the
-        target half-migrated.  Returns the deployed :class:`ModelVersion`.
+        ``load_drift_state`` yourself, to opt in).
+
+        The **global serving threshold** across the swap: an explicit
+        ``threshold=`` wins; otherwise a global-mode target picks up the
+        version's published ``metadata["threshold"]`` when one exists.
+        With neither, ``swap_model`` resets the target to the new model's
+        train-score calibration *by design* — and if that silently discards
+        a serving-side override (the target's current threshold differs
+        from the live model's own calibration), ``deploy`` emits a
+        :class:`RuntimeWarning` instead of letting the fleet revert without
+        a trace.
+
+        Star-count mismatches and corrupt sidecars are rejected *before*
+        the swap; a sidecar restore that fails *after* the swap rolls the
+        previous model (and its threshold) back in, so the target always
+        serves a consistent model+calibration pair — old or new, never
+        mixed.  Returns the deployed :class:`ModelVersion`.
         """
         resolved = self.get(name, version)
+        target_stars = self._target_star_count(target)
         state = None
         if (
             restore_calibration
@@ -415,14 +438,16 @@ class ModelRegistry:
         ):
             state = self._read_calibration_state(resolved)
             published_stars = int(np.asarray(state["thresholds"]).size)
-            target_stars = getattr(target, "num_stars", None) or getattr(
-                target, "num_variates", None
-            )
             if target_stars is not None and published_stars != target_stars:
                 raise ValueError(
                     f"{resolved.label} calibration covers {published_stars} stars but the "
                     f"target serves {target_stars}; aborting before the model swap"
                 )
+            # Parse eagerly: a corrupt sidecar must fail here, not after the
+            # target is already serving the new model.
+            from ..streaming.vector_pot import VectorizedIncrementalPOT
+
+            VectorizedIncrementalPOT.from_state_dict(state)
         drift_state = None
         if (
             restore_drift
@@ -432,24 +457,44 @@ class ModelRegistry:
         ):
             drift_state = self._read_drift_state(resolved)
             published_stars = int(np.asarray(drift_state["ref_probs"]).shape[0])
-            target_stars = getattr(target, "num_stars", None) or getattr(
-                target, "num_variates", None
-            )
             if target_stars is not None and published_stars != target_stars:
                 raise ValueError(
                     f"{resolved.label} drift reference covers {published_stars} stars but "
                     f"the target serves {target_stars}; aborting before the model swap"
                 )
+            from ..obs.drift import DriftMonitor
+
+            DriftMonitor.from_state_dict(drift_state)
+        swap_threshold = self._resolve_deploy_threshold(resolved, target, threshold)
+        prior_detector = getattr(target, "detector", None)
+        prior_threshold = getattr(target, "threshold", None)
+        prior_version = getattr(target, "model_version", None)
         if dtype is not None:
-            target.swap_model(self.load_compiled(name, resolved.version, dtype=dtype))
+            model = self.load_compiled(name, resolved.version, dtype=dtype)
         else:
-            target.swap_model(self.load_detector(name, resolved.version))
-        if state is not None:
-            target.load_threshold_state(state)
-            logger.info("[registry] restored per-star thresholds from %s", resolved.label)
-        if drift_state is not None:
-            target.load_drift_state(drift_state)
-            logger.info("[registry] restored drift reference from %s", resolved.label)
+            model = self.load_detector(name, resolved.version)
+        self._swap(target, model, swap_threshold)
+        try:
+            if state is not None:
+                target.load_threshold_state(state)
+                logger.info("[registry] restored per-star thresholds from %s", resolved.label)
+            if drift_state is not None:
+                target.load_drift_state(drift_state)
+                logger.info("[registry] restored drift reference from %s", resolved.label)
+        except Exception:
+            # Never leave the target serving the new model against the old
+            # calibration (or half of each): swap the previous model back so
+            # the pair stays consistent, then surface the failure.
+            if prior_detector is not None:
+                self._swap(target, prior_detector, prior_threshold)
+                if hasattr(target, "model_version"):
+                    target.model_version = prior_version
+                logger.error(
+                    "[registry] deploy of %s aborted: sidecar restore failed after the "
+                    "swap; previous model swapped back",
+                    resolved.label,
+                )
+            raise
         # Stamp the serving version for health snapshots — swap_model itself
         # cleared it, since a raw-source swap has no registry identity.
         if hasattr(target, "model_version"):
@@ -459,6 +504,77 @@ class ModelRegistry:
         ).inc()
         logger.info("[registry] deployed %s into %s", resolved.label, type(target).__name__)
         return resolved
+
+    @staticmethod
+    def _target_star_count(target) -> int | None:
+        """How many stars the serving target covers, ``None`` when unknown.
+
+        ``num_stars`` wins over ``num_variates``; both are tested with
+        ``is not None`` so a malformed target reporting zero stars is a
+        loud mismatch against any published sidecar, not silently treated
+        as "no star count available".
+        """
+        stars = getattr(target, "num_stars", None)
+        if stars is None:
+            stars = getattr(target, "num_variates", None)
+        return None if stars is None else int(stars)
+
+    @staticmethod
+    def _resolve_deploy_threshold(resolved: ModelVersion, target, threshold) -> float | None:
+        """The global threshold the swap should install, or ``None``.
+
+        Precedence: explicit ``threshold=`` argument, then the version's
+        published ``metadata["threshold"]`` (global-mode targets only).
+        When neither exists but the target is running a serving-side
+        override — its current global threshold differs from the live
+        model's own train calibration — warn that the swap is about to
+        reset it, so the silent-revert failure mode of PR 5's by-design
+        ``swap_model`` reset is at least visible.
+        """
+        if threshold is not None:
+            return float(threshold)
+        if getattr(target, "threshold_mode", "global") != "global":
+            return None
+        published = resolved.metadata.get("threshold")
+        if published is not None:
+            return float(published)
+        current = getattr(target, "threshold", None)
+        detector = getattr(target, "detector", None)
+        calibrated = getattr(detector, "threshold", None)
+        if current is None or not callable(calibrated):
+            return None
+        try:
+            train_threshold = float(calibrated())
+        except Exception:
+            return None
+        if float(current) != train_threshold:
+            message = (
+                f"deploying {resolved.label} resets the target's serving threshold "
+                f"override ({float(current):.6g}) to the new model's train calibration; "
+                "pass deploy(..., threshold=...) or publish the version with "
+                'metadata={"threshold": ...} to carry one across the swap'
+            )
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+            logger.warning("[registry] %s", message)
+        return None
+
+    @staticmethod
+    def _swap(target, model, threshold: float | None) -> None:
+        """``swap_model`` with the threshold applied atomically when possible.
+
+        :class:`~repro.streaming.FleetManager` accepts the threshold as a
+        swap argument; front-ends without the parameter (e.g.
+        :class:`~repro.streaming.StreamingDetector`) get it assigned right
+        after the swap instead.
+        """
+        if threshold is None:
+            target.swap_model(model)
+            return
+        if "threshold" in inspect.signature(target.swap_model).parameters:
+            target.swap_model(model, threshold=float(threshold))
+            return
+        target.swap_model(model)
+        target.threshold = float(threshold)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -315,3 +315,210 @@ class TestDriftReference:
             registry.publish("field-a", fitted_detector, drift_reference=bare)
         # Failed publishes must not burn version numbers or leave debris.
         assert registry.versions("field-a") == []
+
+
+class TestPublishRaceNumbering:
+    def test_concurrent_publishes_assign_contiguous_versions(self, tmp_path, fitted_detector):
+        """A lost publish race must re-number from the winner, never skip.
+
+        The old retry computed ``latest + 1 + attempt``: the loser of a
+        race for v5 would jump straight to v7, leaving a permanent hole at
+        v6.  With maximal contention (a barrier start), every version in
+        ``1..n`` must exist exactly once.
+        """
+        import threading
+
+        registry = ModelRegistry(tmp_path)
+        artifact = fitted_detector.save(tmp_path / "det.npz")
+        publishers = 8
+        barrier = threading.Barrier(publishers)
+        errors = []
+
+        def publish():
+            try:
+                barrier.wait()
+                registry.publish("field-a", artifact)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=publish) for _ in range(publishers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert registry.versions("field-a") == list(range(1, publishers + 1))
+
+
+class TestDeployThreshold:
+    def test_explicit_threshold_passes_through_the_swap(self, tmp_path, fitted_detector):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        fleet = FleetManager(fitted_detector, num_shards=2, threshold=42.0)
+        registry.deploy("field-a", fleet, threshold=7.5)
+        assert fleet.threshold == 7.5
+        assert fleet.model_version == "field-a@v0001"
+
+    def test_published_threshold_metadata_is_restored(self, tmp_path, fitted_detector):
+        import warnings
+
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector, metadata={"threshold": 9.25})
+        fleet = FleetManager(fitted_detector, num_shards=2, threshold=42.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")      # restoring must not also warn
+            registry.deploy("field-a", fleet)
+        assert fleet.threshold == 9.25
+
+    def test_silent_override_loss_warns(self, tmp_path, fitted_detector):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)    # no published threshold
+        fleet = FleetManager(fitted_detector, num_shards=2, threshold=42.0)
+        with pytest.warns(RuntimeWarning, match="threshold"):
+            registry.deploy("field-a", fleet)
+        # swap_model's by-design reset still happened — but loudly.
+        assert fleet.threshold == fitted_detector.threshold()
+
+    def test_no_override_no_warning(self, tmp_path, fitted_detector):
+        import warnings
+
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        fleet = FleetManager(fitted_detector, num_shards=2)   # serving train calibration
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            registry.deploy("field-a", fleet)
+        assert fleet.threshold == fitted_detector.threshold()
+
+    def test_threshold_passthrough_without_swap_kwarg(self, tmp_path, fitted_detector):
+        # StreamingDetector.swap_model has no threshold parameter: deploy
+        # must assign the threshold right after the swap instead.
+        from repro.streaming import StreamingDetector
+
+        registry = ModelRegistry(tmp_path)
+        registry.publish("field-a", fitted_detector)
+        stream = StreamingDetector(fitted_detector)
+        registry.deploy("field-a", stream, threshold=3.25)
+        assert stream.threshold == 3.25
+        assert stream.model_version == "field-a@v0001"
+
+
+class TestDeployStarGuard:
+    def test_zero_star_target_fails_loudly_before_the_swap(self, tmp_path, fitted_detector):
+        """A malformed target reporting zero stars is a mismatch, not 'unknown'.
+
+        The old guard used ``getattr(...) or getattr(...)``, so a falsy-but-
+        present ``num_stars`` fell through to ``num_variates`` and could
+        silently skip the pre-swap check entirely.
+        """
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        donor = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        registry.publish("field-a", fitted_detector, calibration=donor)
+
+        class Malformed:
+            num_stars = 0                       # present but nonsensical
+
+            def threshold_state(self):
+                return {"thresholds": np.zeros(0)}
+
+            def load_threshold_state(self, state):  # pragma: no cover - must not run
+                raise AssertionError("restore must not be reached")
+
+            def swap_model(self, model):  # pragma: no cover - must not run
+                raise AssertionError("swap must not be reached")
+
+        with pytest.raises(ValueError, match="before the model swap"):
+            registry.deploy("field-a", Malformed())
+
+    def test_target_star_count_prefers_num_stars(self):
+        class Target:
+            num_stars = 6
+            num_variates = 3
+
+        assert ModelRegistry._target_star_count(Target()) == 6
+        assert ModelRegistry._target_star_count(object()) is None
+
+
+class TestDeployConsistencyOnRestoreFailure:
+    """A failed post-swap sidecar restore must never leave a mixed pair."""
+
+    def test_failed_threshold_restore_swaps_the_old_model_back(
+        self, tmp_path, fitted_detector, tiny_config, train_series, monkeypatch
+    ):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        donor = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        candidate = AeroDetector(tiny_config.scaled(seed=99)).fit(train_series)
+        registry.publish("field-a", candidate, calibration=donor)
+
+        target = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        before_thresholds = target.adaptive_pot.thresholds.copy()
+
+        def broken_restore(state):
+            raise RuntimeError("calibration disk died")
+
+        monkeypatch.setattr(target, "load_threshold_state", broken_restore)
+        with pytest.raises(RuntimeError, match="calibration disk died"):
+            registry.deploy("field-a", target)
+        # Old model + old calibration: consistent, never candidate + old.
+        assert target.detector is fitted_detector
+        np.testing.assert_array_equal(target.adaptive_pot.thresholds, before_thresholds)
+        assert target.model_version is None
+
+    def test_failed_drift_restore_swaps_the_old_model_back(
+        self, tmp_path, fitted_detector, tiny_config, train_series, monkeypatch
+    ):
+        from repro.obs import DriftMonitor
+        from repro.streaming import FleetManager
+
+        rng = np.random.default_rng(3)
+        monitor = DriftMonitor().fit(rng.normal(size=400), num_stars=6)
+        registry = ModelRegistry(tmp_path)
+        candidate = AeroDetector(tiny_config.scaled(seed=99)).fit(train_series)
+        registry.publish("field-a", candidate, drift_reference=monitor)
+
+        target = FleetManager(
+            fitted_detector, num_shards=2,
+            drift_monitor=DriftMonitor().fit(rng.normal(size=400), num_stars=6),
+        )
+        own_reference = target.drift_monitor
+        before_threshold = target.threshold
+
+        def broken_restore(state):
+            raise RuntimeError("drift disk died")
+
+        monkeypatch.setattr(target, "load_drift_state", broken_restore)
+        with pytest.raises(RuntimeError, match="drift disk died"):
+            registry.deploy("field-a", target)
+        assert target.detector is fitted_detector
+        assert target.drift_monitor is own_reference
+        assert target.threshold == before_threshold
+        assert target.model_version is None
+
+    def test_corrupt_sidecar_rejected_before_the_swap(self, tmp_path, fitted_detector):
+        from repro.streaming import FleetManager
+
+        registry = ModelRegistry(tmp_path)
+        donor = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        version = registry.publish("field-a", fitted_detector, calibration=donor)
+        # Truncate the sidecar to a bare thresholds array: right star count,
+        # missing every other state key.
+        np.savez_compressed(version.calibration_path, thresholds=np.zeros(6))
+
+        target = FleetManager(fitted_detector, num_shards=2, threshold_mode="per_star")
+        before = target.adaptive_pot.thresholds.copy()
+        with pytest.raises((KeyError, ValueError)):
+            registry.deploy("field-a", target)
+        assert target.detector is fitted_detector
+        np.testing.assert_array_equal(target.adaptive_pot.thresholds, before)
